@@ -1,0 +1,203 @@
+//! Dominator tree computation (Cooper–Harvey–Kennedy iterative algorithm).
+//!
+//! SEME regions are defined by header dominance, and natural-loop detection
+//! needs back edges (`tail → head` with `head` dominating `tail`), so the
+//! dominator tree underpins both region formation and loop analysis.
+
+use crate::order::postorder;
+use encore_ir::{BlockId, Function};
+
+/// The dominator tree of a function's reachable CFG.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DomTree {
+    /// Immediate dominator per block; `idom[entry] == entry`;
+    /// `None` for unreachable blocks.
+    idom: Vec<Option<BlockId>>,
+    /// Map block → position in post-order (dense over reachable blocks).
+    po_index: Vec<Option<u32>>,
+    entry: BlockId,
+}
+
+impl DomTree {
+    /// Computes the dominator tree of `func`.
+    pub fn compute(func: &Function) -> Self {
+        let po = postorder(func);
+        let n_blocks = func.blocks.len();
+        let mut po_index: Vec<Option<u32>> = vec![None; n_blocks];
+        for (i, b) in po.iter().enumerate() {
+            po_index[b.index()] = Some(i as u32);
+        }
+        let entry = func.entry();
+
+        // Predecessors restricted to reachable blocks.
+        let mut preds: Vec<Vec<BlockId>> = vec![Vec::new(); n_blocks];
+        for &b in &po {
+            for s in func.block(b).successors() {
+                if po_index[s.index()].is_some() {
+                    preds[s.index()].push(b);
+                }
+            }
+        }
+
+        let mut idom: Vec<Option<BlockId>> = vec![None; n_blocks];
+        idom[entry.index()] = Some(entry);
+
+        let intersect = |idom: &[Option<BlockId>],
+                         po_index: &[Option<u32>],
+                         mut a: BlockId,
+                         mut b: BlockId| {
+            while a != b {
+                let (pa, pb) = (po_index[a.index()].unwrap(), po_index[b.index()].unwrap());
+                if pa < pb {
+                    a = idom[a.index()].unwrap();
+                } else {
+                    b = idom[b.index()].unwrap();
+                }
+            }
+            a
+        };
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            // Reverse post-order, skipping the entry.
+            for &b in po.iter().rev() {
+                if b == entry {
+                    continue;
+                }
+                let mut new_idom: Option<BlockId> = None;
+                for &p in &preds[b.index()] {
+                    if idom[p.index()].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, &po_index, cur, p),
+                    });
+                }
+                if new_idom.is_some() && idom[b.index()] != new_idom {
+                    idom[b.index()] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+
+        Self { idom, po_index, entry }
+    }
+
+    /// Immediate dominator of `b` (`None` for the entry and for
+    /// unreachable blocks).
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        if b == self.entry {
+            return None;
+        }
+        self.idom.get(b.index()).copied().flatten()
+    }
+
+    /// Returns `true` if `a` dominates `b` (reflexive: every block
+    /// dominates itself). Unreachable blocks dominate nothing and are
+    /// dominated by nothing.
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        if self.idom.get(b.index()).copied().flatten().is_none() && b != self.entry {
+            return false;
+        }
+        if self.po_index.get(a.index()).copied().flatten().is_none() {
+            return false;
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            if cur == self.entry {
+                return false;
+            }
+            match self.idom[cur.index()] {
+                Some(next) => cur = next,
+                None => return false,
+            }
+        }
+    }
+
+    /// Returns `true` if `b` is reachable from the entry.
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        b == self.entry || self.idom.get(b.index()).copied().flatten().is_some()
+    }
+
+    /// The function entry this tree was computed for.
+    pub fn entry(&self) -> BlockId {
+        self.entry
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use encore_ir::{ModuleBuilder, Operand};
+
+    fn diamond_fn() -> encore_ir::Module {
+        let mut mb = ModuleBuilder::new("m");
+        mb.function("f", 1, |f| {
+            let p = f.param(0);
+            f.if_else(p.into(), |_| {}, |_| {});
+            f.ret(None);
+        });
+        mb.finish()
+    }
+
+    #[test]
+    fn diamond_dominators() {
+        let m = diamond_fn();
+        let f = &m.funcs[0];
+        let dt = DomTree::compute(f);
+        let (e, t, el, j) = (
+            BlockId::new(0),
+            BlockId::new(1),
+            BlockId::new(2),
+            BlockId::new(3),
+        );
+        assert_eq!(dt.idom(t), Some(e));
+        assert_eq!(dt.idom(el), Some(e));
+        assert_eq!(dt.idom(j), Some(e));
+        assert!(dt.dominates(e, j));
+        assert!(!dt.dominates(t, j));
+        assert!(dt.dominates(j, j));
+        assert_eq!(dt.idom(e), None);
+    }
+
+    #[test]
+    fn loop_header_dominates_body() {
+        let mut mb = ModuleBuilder::new("m");
+        mb.function("f", 1, |f| {
+            let n = f.param(0);
+            let i = f.mov(Operand::ImmI(0));
+            f.while_loop(
+                |f| Operand::Reg(f.bin(encore_ir::BinOp::Lt, i.into(), n.into())),
+                |f| f.bin_to(i, encore_ir::BinOp::Add, i.into(), Operand::ImmI(1)),
+            );
+            f.ret(None);
+        });
+        let m = mb.finish();
+        let f = &m.funcs[0];
+        let dt = DomTree::compute(f);
+        // Blocks: 0 entry, 1 header, 2 body, 3 exit.
+        assert!(dt.dominates(BlockId::new(1), BlockId::new(2)));
+        assert!(dt.dominates(BlockId::new(1), BlockId::new(3)));
+        assert!(!dt.dominates(BlockId::new(2), BlockId::new(3)));
+    }
+
+    #[test]
+    fn unreachable_blocks_have_no_idom() {
+        let mut mb = ModuleBuilder::new("m");
+        mb.function("f", 0, |f| {
+            f.ret(None);
+            let dead = f.add_block();
+            f.switch_to(dead);
+            f.ret(None);
+        });
+        let m = mb.finish();
+        let dt = DomTree::compute(&m.funcs[0]);
+        assert!(!dt.is_reachable(BlockId::new(1)));
+        assert!(!dt.dominates(BlockId::new(0), BlockId::new(1)));
+    }
+}

@@ -1,0 +1,212 @@
+//! Register liveness analysis.
+//!
+//! Encore checkpoints, at region entry, every live-in register that the
+//! region overwrites (§3.2 of the paper): otherwise re-execution would
+//! consume a clobbered value. This is the standard backward may-analysis
+//! at basic-block granularity.
+
+use encore_ir::{BlockId, Function, Reg};
+use std::collections::BTreeSet;
+
+/// Per-block liveness results for one function.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Liveness {
+    live_in: Vec<BTreeSet<Reg>>,
+    live_out: Vec<BTreeSet<Reg>>,
+    use_set: Vec<BTreeSet<Reg>>,
+    def_set: Vec<BTreeSet<Reg>>,
+}
+
+impl Liveness {
+    /// Computes liveness for `func` by iterating to a fixpoint.
+    pub fn compute(func: &Function) -> Self {
+        let n = func.blocks.len();
+        let mut use_set = vec![BTreeSet::new(); n];
+        let mut def_set = vec![BTreeSet::new(); n];
+
+        for (bid, block) in func.iter_blocks() {
+            let i = bid.index();
+            for inst in &block.insts {
+                for u in inst.uses() {
+                    if !def_set[i].contains(&u) {
+                        use_set[i].insert(u);
+                    }
+                }
+                if let Some(d) = inst.def() {
+                    def_set[i].insert(d);
+                }
+            }
+            if let Some(t) = &block.term {
+                for u in t.uses() {
+                    if !def_set[i].contains(&u) {
+                        use_set[i].insert(u);
+                    }
+                }
+            }
+        }
+
+        let mut live_in = vec![BTreeSet::new(); n];
+        let mut live_out = vec![BTreeSet::new(); n];
+        let order = crate::order::postorder(func); // propagate backwards fast
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in &order {
+                let i = b.index();
+                let mut out: BTreeSet<Reg> = BTreeSet::new();
+                for s in func.block(b).successors() {
+                    out.extend(live_in[s.index()].iter().copied());
+                }
+                let mut inn = use_set[i].clone();
+                for r in out.difference(&def_set[i]) {
+                    inn.insert(*r);
+                }
+                if out != live_out[i] || inn != live_in[i] {
+                    live_out[i] = out;
+                    live_in[i] = inn;
+                    changed = true;
+                }
+            }
+        }
+
+        Self { live_in, live_out, use_set, def_set }
+    }
+
+    /// Registers live at entry to `b`.
+    pub fn live_in(&self, b: BlockId) -> &BTreeSet<Reg> {
+        &self.live_in[b.index()]
+    }
+
+    /// Registers live at exit from `b`.
+    pub fn live_out(&self, b: BlockId) -> &BTreeSet<Reg> {
+        &self.live_out[b.index()]
+    }
+
+    /// Registers defined (written) inside `b`.
+    pub fn defs(&self, b: BlockId) -> &BTreeSet<Reg> {
+        &self.def_set[b.index()]
+    }
+
+    /// Registers upward-exposed (used before any local def) in `b`.
+    pub fn upward_exposed(&self, b: BlockId) -> &BTreeSet<Reg> {
+        &self.use_set[b.index()]
+    }
+
+    /// Registers that are live at entry to `header` *and* written anywhere
+    /// in `region_blocks` — exactly the set Encore must checkpoint at
+    /// region entry.
+    pub fn clobbered_live_ins(
+        &self,
+        header: BlockId,
+        region_blocks: impl IntoIterator<Item = BlockId>,
+    ) -> BTreeSet<Reg> {
+        let live = self.live_in(header);
+        let mut clobbered = BTreeSet::new();
+        for b in region_blocks {
+            for d in self.defs(b) {
+                if live.contains(d) {
+                    clobbered.insert(*d);
+                }
+            }
+        }
+        clobbered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use encore_ir::{AddrExpr, BinOp, ModuleBuilder, Operand};
+
+    #[test]
+    fn param_live_into_use() {
+        let mut mb = ModuleBuilder::new("m");
+        mb.function("f", 1, |f| {
+            let p = f.param(0);
+            f.if_else(p.into(), |_| {}, |_| {});
+            f.ret(Some(p.into()));
+        });
+        let m = mb.finish();
+        let f = &m.funcs[0];
+        let lv = Liveness::compute(f);
+        let p = Reg::new(0);
+        // p is live into every block on the way to the final ret.
+        assert!(lv.live_in(BlockId::new(0)).contains(&p));
+        assert!(lv.live_in(BlockId::new(3)).contains(&p));
+        assert!(lv.live_out(BlockId::new(0)).contains(&p));
+    }
+
+    #[test]
+    fn dead_value_not_live() {
+        let mut mb = ModuleBuilder::new("m");
+        mb.function("f", 0, |f| {
+            let dead = f.mov(Operand::ImmI(1));
+            let _ = dead;
+            f.ret(None);
+        });
+        let m = mb.finish();
+        let lv = Liveness::compute(&m.funcs[0]);
+        assert!(lv.live_in(BlockId::new(0)).is_empty());
+        assert!(lv.defs(BlockId::new(0)).contains(&Reg::new(0)));
+    }
+
+    #[test]
+    fn loop_carried_value_is_live_at_header() {
+        let mut mb = ModuleBuilder::new("m");
+        mb.function("f", 1, |f| {
+            let n = f.param(0);
+            let i = f.mov(Operand::ImmI(0));
+            f.while_loop(
+                |f| Operand::Reg(f.bin(BinOp::Lt, i.into(), n.into())),
+                |f| f.bin_to(i, BinOp::Add, i.into(), Operand::ImmI(1)),
+            );
+            f.ret(Some(i.into()));
+        });
+        let m = mb.finish();
+        let lv = Liveness::compute(&m.funcs[0]);
+        let i_reg = Reg::new(1);
+        let header = BlockId::new(1);
+        let body = BlockId::new(2);
+        assert!(lv.live_in(header).contains(&i_reg));
+        assert!(lv.live_in(body).contains(&i_reg));
+        // The body both uses and redefines i.
+        assert!(lv.defs(body).contains(&i_reg));
+    }
+
+    #[test]
+    fn clobbered_live_ins_detects_overwritten_inputs() {
+        let mut mb = ModuleBuilder::new("m");
+        let g = mb.global("g", 1);
+        mb.function("f", 2, |f| {
+            let a = f.param(0); // overwritten below -> needs checkpoint
+            let b = f.param(1); // only read -> no checkpoint
+            let body_start = f.add_block();
+            f.jump(body_start);
+            f.switch_to(body_start);
+            f.bin_to(a, BinOp::Add, a.into(), b.into());
+            f.store(AddrExpr::global(g, 0), a.into());
+            f.ret(Some(a.into()));
+        });
+        let m = mb.finish();
+        let lv = Liveness::compute(&m.funcs[0]);
+        let region = [BlockId::new(1)];
+        let clobbered = lv.clobbered_live_ins(BlockId::new(1), region);
+        assert!(clobbered.contains(&Reg::new(0)));
+        assert!(!clobbered.contains(&Reg::new(1)));
+    }
+
+    #[test]
+    fn use_before_def_is_upward_exposed() {
+        let mut mb = ModuleBuilder::new("m");
+        mb.function("f", 1, |f| {
+            let p = f.param(0);
+            // use p, then redefine it
+            let q = f.bin(BinOp::Add, p.into(), Operand::ImmI(1));
+            f.mov_to(p, q.into());
+            f.ret(Some(p.into()));
+        });
+        let m = mb.finish();
+        let lv = Liveness::compute(&m.funcs[0]);
+        assert!(lv.upward_exposed(BlockId::new(0)).contains(&Reg::new(0)));
+    }
+}

@@ -1,0 +1,365 @@
+//! Inter-procedural memory-effect summaries.
+//!
+//! The paper marks regions containing calls "for which relevant alias
+//! analysis information could not be easily obtained" as *Unknown*
+//! (§5.1). For internal functions the information **can** be obtained: a
+//! bottom-up fixpoint computes, per function, the set of addresses it may
+//! load and may store, expressed against module-level objects (globals /
+//! heap sites) — callee-local state (stack slots, registers) is invisible
+//! to callers and excluded. A summary degrades to ⊤ when the function
+//! touches memory through opaque pointers, calls opaque externals, or
+//! takes pointer-typed arguments it dereferences (we cannot name the
+//! callee's view of caller memory without a points-to analysis).
+//!
+//! `encore-core` uses these summaries to treat calls to *analyzable*
+//! impure functions as ordinary bundles of loads/stores, so their
+//! enclosing regions become checkpointable instead of Unknown.
+
+use encore_ir::{AddrExpr, ExtEffect, FuncId, Inst, MemBase, Module};
+use std::collections::BTreeSet;
+
+/// A set of module-visible addresses, or ⊤ (anything).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum AddrSet {
+    /// A finite set of symbolic addresses (global/heap bases only).
+    Set(BTreeSet<SummaryAddr>),
+    /// May reference any memory.
+    Top,
+}
+
+impl AddrSet {
+    /// The empty set.
+    pub fn empty() -> Self {
+        AddrSet::Set(BTreeSet::new())
+    }
+
+    /// Is this the empty set?
+    pub fn is_empty(&self) -> bool {
+        matches!(self, AddrSet::Set(s) if s.is_empty())
+    }
+
+    fn insert(&mut self, a: SummaryAddr) {
+        if let AddrSet::Set(s) = self {
+            s.insert(a);
+        }
+    }
+
+    fn join(&mut self, other: &AddrSet) -> bool {
+        match (&mut *self, other) {
+            (AddrSet::Top, _) => false,
+            (me, AddrSet::Top) => {
+                *me = AddrSet::Top;
+                true
+            }
+            (AddrSet::Set(a), AddrSet::Set(b)) => {
+                let before = a.len();
+                a.extend(b.iter().copied());
+                a.len() != before
+            }
+        }
+    }
+
+    fn make_top(&mut self) -> bool {
+        if matches!(self, AddrSet::Top) {
+            false
+        } else {
+            *self = AddrSet::Top;
+            true
+        }
+    }
+
+    /// Iterates the members (empty for ⊤ — use [`AddrSet::Top`] checks).
+    pub fn iter(&self) -> impl Iterator<Item = &SummaryAddr> {
+        match self {
+            AddrSet::Set(s) => s.iter(),
+            AddrSet::Top => {
+                // Static empty set reference for the Top case.
+                static EMPTY: std::sync::OnceLock<BTreeSet<SummaryAddr>> =
+                    std::sync::OnceLock::new();
+                EMPTY.get_or_init(BTreeSet::new).iter()
+            }
+        }
+    }
+}
+
+/// A caller-visible address a callee may touch: a module object with a
+/// constant cell, or the whole object when the offset is dynamic.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum SummaryAddr {
+    /// A specific cell of a global.
+    GlobalCell {
+        /// Raw global id.
+        id: u32,
+        /// Cell offset.
+        offset: i64,
+    },
+    /// Some cell(s) of a global (dynamic offset).
+    GlobalAny {
+        /// Raw global id.
+        id: u32,
+    },
+    /// Some cell(s) of a heap allocation site.
+    HeapAny {
+        /// Raw heap-site id.
+        id: u32,
+    },
+}
+
+impl SummaryAddr {
+    /// Classifies a callee-side address into its caller-visible form;
+    /// `None` when the address is invisible to callers (stack slot) and
+    /// `Some(Err(()))` when it is unanalyzable (pointer register).
+    fn of(addr: &AddrExpr) -> Option<Result<SummaryAddr, ()>> {
+        match addr.base {
+            MemBase::Global(g) => Some(Ok(match addr.offset.as_const() {
+                Some(offset) => SummaryAddr::GlobalCell { id: g.raw(), offset },
+                None => SummaryAddr::GlobalAny { id: g.raw() },
+            })),
+            MemBase::Heap(h) => Some(Ok(SummaryAddr::HeapAny { id: h.raw() })),
+            MemBase::Slot(_) => None, // callee-private
+            MemBase::Reg(_) => Some(Err(())),
+        }
+    }
+
+    /// Renders the summary address as a symbolic [`AddrExpr`]-like pair
+    /// for alias queries: the global/heap base plus an optional constant
+    /// offset (`None` = dynamic/any).
+    pub fn parts(&self) -> (MemBase, Option<i64>) {
+        match self {
+            SummaryAddr::GlobalCell { id, offset } => {
+                (MemBase::Global(encore_ir::GlobalId::new(*id)), Some(*offset))
+            }
+            SummaryAddr::GlobalAny { id } => {
+                (MemBase::Global(encore_ir::GlobalId::new(*id)), None)
+            }
+            SummaryAddr::HeapAny { id } => (MemBase::Heap(encore_ir::HeapId::new(*id)), None),
+        }
+    }
+}
+
+/// One function's caller-visible memory effects.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FuncEffects {
+    /// Addresses the function (transitively) may load.
+    pub loads: AddrSet,
+    /// Addresses the function (transitively) may store.
+    pub stores: AddrSet,
+    /// Whether the function (transitively) allocates memory.
+    pub allocates: bool,
+}
+
+impl FuncEffects {
+    fn new() -> Self {
+        Self { loads: AddrSet::empty(), stores: AddrSet::empty(), allocates: false }
+    }
+
+    /// `true` when the effects are fully analyzable (no ⊤ component).
+    pub fn is_analyzable(&self) -> bool {
+        !matches!(self.loads, AddrSet::Top) && !matches!(self.stores, AddrSet::Top)
+    }
+}
+
+/// Memory summaries for every function of a module.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MemSummary {
+    effects: Vec<FuncEffects>,
+}
+
+impl MemSummary {
+    /// Computes summaries with a bottom-up fixpoint over the call graph
+    /// (recursion converges because the abstract domain is finite:
+    /// per-global cells collapse to `GlobalAny` only via dynamic offsets
+    /// present in the code).
+    pub fn compute(module: &Module) -> Self {
+        let n = module.funcs.len();
+        let mut effects: Vec<FuncEffects> = (0..n).map(|_| FuncEffects::new()).collect();
+        let mut changed = true;
+        let mut rounds = 0;
+        while changed && rounds < 64 {
+            changed = false;
+            rounds += 1;
+            for (fi, func) in module.iter_funcs() {
+                let mut fx = effects[fi.index()].clone();
+                for block in &func.blocks {
+                    for inst in &block.insts {
+                        match inst {
+                            Inst::Load { addr, .. } => match SummaryAddr::of(addr) {
+                                Some(Ok(a)) => fx.loads.insert(a),
+                                Some(Err(())) => {
+                                    changed |= fx.loads.make_top();
+                                }
+                                None => {}
+                            },
+                            Inst::Store { addr, .. } => match SummaryAddr::of(addr) {
+                                Some(Ok(a)) => fx.stores.insert(a),
+                                Some(Err(())) => {
+                                    changed |= fx.stores.make_top();
+                                }
+                                None => {}
+                            },
+                            Inst::Alloc { .. } => fx.allocates = true,
+                            Inst::Call { callee, .. } => {
+                                let callee_fx = effects[callee.index()].clone();
+                                changed |= fx.loads.join(&callee_fx.loads);
+                                changed |= fx.stores.join(&callee_fx.stores);
+                                fx.allocates |= callee_fx.allocates;
+                            }
+                            Inst::CallExt { effect, .. } => match effect {
+                                ExtEffect::Pure => {}
+                                ExtEffect::ReadOnly => {
+                                    changed |= fx.loads.make_top();
+                                }
+                                ExtEffect::Opaque => {
+                                    changed |= fx.loads.make_top();
+                                    changed |= fx.stores.make_top();
+                                }
+                            },
+                            _ => {}
+                        }
+                    }
+                }
+                if fx != effects[fi.index()] {
+                    effects[fi.index()] = fx;
+                    changed = true;
+                }
+            }
+        }
+        Self { effects }
+    }
+
+    /// Effects of function `f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is out of range.
+    pub fn effects(&self, f: FuncId) -> &FuncEffects {
+        &self.effects[f.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use encore_ir::{AddrExpr, BinOp, ModuleBuilder, Operand, Reg};
+
+    #[test]
+    fn direct_effects_collected() {
+        let mut mb = ModuleBuilder::new("m");
+        let g = mb.global("g", 4);
+        let f = mb.function("f", 1, |f| {
+            let p = f.param(0);
+            let v = f.load(AddrExpr::global(g, 0));
+            f.store(AddrExpr::indexed(MemBase::Global(g), p, 1, 0), v.into());
+            f.ret(None);
+        });
+        let s = MemSummary::compute(&mb.finish());
+        let fx = s.effects(f);
+        assert!(fx.is_analyzable());
+        assert!(fx
+            .loads
+            .iter()
+            .any(|a| *a == SummaryAddr::GlobalCell { id: 0, offset: 0 }));
+        assert!(fx.stores.iter().any(|a| *a == SummaryAddr::GlobalAny { id: 0 }));
+    }
+
+    #[test]
+    fn effects_propagate_through_calls() {
+        let mut mb = ModuleBuilder::new("m");
+        let g = mb.global("g", 1);
+        let leaf = mb.function("leaf", 0, |f| {
+            f.store(AddrExpr::global(g, 0), Operand::ImmI(1));
+            f.ret(None);
+        });
+        let caller = mb.function("caller", 0, |f| {
+            f.call_void(leaf, &[]);
+            f.ret(None);
+        });
+        let s = MemSummary::compute(&mb.finish());
+        assert!(s
+            .effects(caller)
+            .stores
+            .iter()
+            .any(|a| *a == SummaryAddr::GlobalCell { id: 0, offset: 0 }));
+    }
+
+    #[test]
+    fn pointer_accesses_degrade_to_top() {
+        let mut mb = ModuleBuilder::new("m");
+        let f = mb.function("f", 1, |f| {
+            // Treat the (integer) parameter as a pointer source via Lea;
+            // simplest: store through a pointer register.
+            let p = f.alloc(Operand::ImmI(4));
+            f.store(AddrExpr::reg(p, 0), Operand::ImmI(1));
+            let v = f.load(AddrExpr::reg(p, 0));
+            f.ret(Some(v.into()));
+        });
+        let s = MemSummary::compute(&mb.finish());
+        let fx = s.effects(f);
+        assert!(!fx.is_analyzable());
+        assert!(fx.allocates);
+    }
+
+    #[test]
+    fn slots_are_invisible_to_callers() {
+        let mut mb = ModuleBuilder::new("m");
+        let f = mb.function("f", 0, |f| {
+            let s = f.slot(2);
+            f.store(AddrExpr::slot(s, 0), Operand::ImmI(1));
+            let v = f.load(AddrExpr::slot(s, 0));
+            f.ret(Some(v.into()));
+        });
+        let s = MemSummary::compute(&mb.finish());
+        let fx = s.effects(f);
+        assert!(fx.loads.is_empty());
+        assert!(fx.stores.is_empty());
+        assert!(fx.is_analyzable());
+    }
+
+    #[test]
+    fn recursion_converges() {
+        let mut mb = ModuleBuilder::new("m");
+        let g = mb.global("g", 1);
+        let f = mb.declare("rec", 1);
+        mb.define(f, |fb| {
+            let p = fb.param(0);
+            fb.if_else(
+                p.into(),
+                |fb| {
+                    let d = fb.bin(BinOp::Sub, p.into(), Operand::ImmI(1));
+                    fb.store(AddrExpr::global(g, 0), d.into());
+                    fb.call_void(f, &[d.into()]);
+                    fb.ret(None);
+                },
+                |fb| fb.ret(None),
+            );
+        });
+        let s = MemSummary::compute(&mb.finish());
+        let fx = s.effects(f);
+        assert!(fx.is_analyzable());
+        assert_eq!(fx.stores.iter().count(), 1);
+    }
+
+    #[test]
+    fn readonly_extern_tops_loads_only() {
+        let mut mb = ModuleBuilder::new("m");
+        let f = mb.function("f", 0, |f| {
+            let v = f.call_ext("peek", &[], ExtEffect::ReadOnly);
+            f.ret(Some(v.into()));
+        });
+        let s = MemSummary::compute(&mb.finish());
+        let fx = s.effects(f);
+        assert!(matches!(fx.loads, AddrSet::Top));
+        assert!(fx.stores.is_empty());
+    }
+
+    #[test]
+    fn summary_addr_parts_roundtrip() {
+        let a = SummaryAddr::GlobalCell { id: 3, offset: 7 };
+        let (base, off) = a.parts();
+        assert_eq!(base, MemBase::Global(encore_ir::GlobalId::new(3)));
+        assert_eq!(off, Some(7));
+        let b = SummaryAddr::HeapAny { id: 1 };
+        assert_eq!(b.parts().1, None);
+        let _ = Reg::new(0);
+    }
+}

@@ -1,0 +1,192 @@
+//! CFG traversal orders.
+//!
+//! Encore's dataflow (Eqs. 1–3 of the paper) is phrased as post-order
+//! traversals of a region's CFG and of the edge-reversed CFG. This module
+//! provides those orders both for whole functions and for arbitrary block
+//! subsets (regions).
+
+use encore_ir::{BlockId, Function};
+use std::collections::BTreeSet;
+
+/// Post-order of the blocks reachable from `entry`, restricted to `allowed`
+/// (pass `None` for the whole function).
+///
+/// Children are visited in successor order; a node is emitted after all its
+/// (allowed, reachable) children.
+pub fn postorder_from(
+    func: &Function,
+    entry: BlockId,
+    allowed: Option<&BTreeSet<BlockId>>,
+) -> Vec<BlockId> {
+    let in_set = |b: BlockId| allowed.map(|s| s.contains(&b)).unwrap_or(true);
+    let mut visited = vec![false; func.blocks.len()];
+    let mut out = Vec::new();
+    if !in_set(entry) {
+        return out;
+    }
+    // Iterative DFS with an explicit child cursor to avoid recursion on
+    // deep CFGs.
+    let mut stack: Vec<(BlockId, Vec<BlockId>, usize)> = Vec::new();
+    visited[entry.index()] = true;
+    let succs = |b: BlockId| -> Vec<BlockId> {
+        func.block(b)
+            .successors()
+            .into_iter()
+            .filter(|s| in_set(*s))
+            .collect()
+    };
+    stack.push((entry, succs(entry), 0));
+    while let Some((node, children, cursor)) = stack.last_mut() {
+        if *cursor < children.len() {
+            let child = children[*cursor];
+            *cursor += 1;
+            if !visited[child.index()] {
+                visited[child.index()] = true;
+                stack.push((child, succs(child), 0));
+            }
+        } else {
+            out.push(*node);
+            stack.pop();
+        }
+    }
+    out
+}
+
+/// Post-order of the whole function from its entry block.
+pub fn postorder(func: &Function) -> Vec<BlockId> {
+    postorder_from(func, func.entry(), None)
+}
+
+/// Reverse post-order (a topological order for acyclic CFGs) of the whole
+/// function.
+pub fn reverse_postorder(func: &Function) -> Vec<BlockId> {
+    let mut po = postorder(func);
+    po.reverse();
+    po
+}
+
+/// Post-order traversal of the *edge-reversed* subgraph induced by
+/// `allowed`, started from each of `roots` in turn (the region's exiting
+/// blocks in Encore's reverse pass). Returns the concatenated order; each
+/// block appears once.
+pub fn reverse_graph_postorder(
+    func: &Function,
+    roots: &[BlockId],
+    allowed: &BTreeSet<BlockId>,
+) -> Vec<BlockId> {
+    // Predecessor map restricted to the allowed set.
+    let mut preds: std::collections::BTreeMap<BlockId, Vec<BlockId>> =
+        allowed.iter().map(|b| (*b, Vec::new())).collect();
+    for &b in allowed {
+        for s in func.block(b).successors() {
+            if allowed.contains(&s) {
+                preds.get_mut(&s).expect("allowed").push(b);
+            }
+        }
+    }
+    let mut visited = vec![false; func.blocks.len()];
+    let mut out = Vec::new();
+    for &root in roots {
+        if !allowed.contains(&root) || visited[root.index()] {
+            continue;
+        }
+        let mut stack: Vec<(BlockId, usize)> = vec![(root, 0)];
+        visited[root.index()] = true;
+        while let Some((node, cursor)) = stack.last_mut() {
+            let ps = &preds[node];
+            if *cursor < ps.len() {
+                let p = ps[*cursor];
+                *cursor += 1;
+                if !visited[p.index()] {
+                    visited[p.index()] = true;
+                    stack.push((p, 0));
+                }
+            } else {
+                out.push(*node);
+                stack.pop();
+            }
+        }
+    }
+    out
+}
+
+/// Blocks reachable from `entry` within `allowed` (or the whole function).
+pub fn reachable_from(
+    func: &Function,
+    entry: BlockId,
+    allowed: Option<&BTreeSet<BlockId>>,
+) -> BTreeSet<BlockId> {
+    postorder_from(func, entry, allowed).into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use encore_ir::{ModuleBuilder, Operand};
+
+    /// entry → (b1 | b2) → join → ret, a diamond.
+    fn diamond() -> encore_ir::Module {
+        let mut mb = ModuleBuilder::new("m");
+        mb.function("f", 1, |f| {
+            let p = f.param(0);
+            f.if_else(p.into(), |_| {}, |_| {});
+            f.ret(None);
+        });
+        mb.finish()
+    }
+
+    #[test]
+    fn postorder_ends_with_entry() {
+        let m = diamond();
+        let po = postorder(&m.funcs[0]);
+        assert_eq!(po.len(), 4);
+        assert_eq!(*po.last().unwrap(), m.funcs[0].entry());
+    }
+
+    #[test]
+    fn rpo_starts_with_entry() {
+        let m = diamond();
+        let rpo = reverse_postorder(&m.funcs[0]);
+        assert_eq!(rpo[0], m.funcs[0].entry());
+    }
+
+    #[test]
+    fn restriction_excludes_blocks() {
+        let m = diamond();
+        let f = &m.funcs[0];
+        let allowed: BTreeSet<_> = [BlockId::new(0), BlockId::new(1), BlockId::new(3)]
+            .into_iter()
+            .collect();
+        let po = postorder_from(f, f.entry(), Some(&allowed));
+        assert!(!po.contains(&BlockId::new(2)));
+        assert_eq!(po.len(), 3);
+    }
+
+    #[test]
+    fn reverse_graph_postorder_reaches_entry() {
+        let m = diamond();
+        let f = &m.funcs[0];
+        let allowed: BTreeSet<_> = f.block_ids().collect();
+        let exits = vec![BlockId::new(3)];
+        let order = reverse_graph_postorder(f, &exits, &allowed);
+        assert_eq!(order.len(), 4);
+        // In reversed-graph post-order the entry comes before the root.
+        let entry_pos = order.iter().position(|b| *b == f.entry()).unwrap();
+        let root_pos = order.iter().position(|b| *b == BlockId::new(3)).unwrap();
+        assert!(entry_pos < root_pos);
+    }
+
+    #[test]
+    fn unreachable_blocks_not_visited() {
+        let mut mb = ModuleBuilder::new("m");
+        mb.function("f", 0, |f| {
+            f.ret(None);
+            let dead = f.add_block();
+            f.switch_to(dead);
+            f.ret(Some(Operand::ImmI(1)));
+        });
+        let m = mb.finish();
+        let po = postorder(&m.funcs[0]);
+        assert_eq!(po.len(), 1);
+    }
+}

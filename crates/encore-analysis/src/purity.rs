@@ -1,0 +1,191 @@
+//! Function memory-effect summaries (purity).
+//!
+//! Encore's region analysis must decide what to do with call sites. The
+//! paper reports regions containing un-analyzable calls (system/library
+//! functions without alias information) as *Unknown* (§5.1). We refine
+//! this slightly with a cheap bottom-up purity analysis so that calls to
+//! provably side-effect-free internal helpers do not poison their region:
+//!
+//! * [`Purity::Pure`] — touches no memory at all (registers only);
+//! * [`Purity::ReadOnly`] — may load, never stores/allocates;
+//! * [`Purity::Impure`] — may store, allocate, or call something opaque.
+//!
+//! The analysis is a monotone fixpoint over the call graph (handles
+//! recursion), starting from `Pure` and raising as effects are found.
+
+use encore_ir::{ExtEffect, FuncId, Inst, Module};
+
+/// Memory effect level of a function, ordered `Pure < ReadOnly < Impure`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Purity {
+    /// No memory access whatsoever.
+    Pure,
+    /// Loads only.
+    ReadOnly,
+    /// Stores, allocations, or opaque external effects.
+    Impure,
+}
+
+impl Purity {
+    fn join(self, other: Purity) -> Purity {
+        self.max(other)
+    }
+}
+
+/// Purity classification of every function in a module.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PuritySummary {
+    levels: Vec<Purity>,
+}
+
+impl PuritySummary {
+    /// Computes purity for all functions in `module`.
+    pub fn compute(module: &Module) -> Self {
+        let n = module.funcs.len();
+        let mut levels = vec![Purity::Pure; n];
+        // Iterate to fixpoint: effects only increase, and the lattice has
+        // height 3, so this terminates quickly.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for (fi, func) in module.iter_funcs() {
+                let mut level = levels[fi.index()];
+                for block in &func.blocks {
+                    for inst in &block.insts {
+                        let effect = match inst {
+                            Inst::Load { .. } => Purity::ReadOnly,
+                            Inst::Store { .. } | Inst::Alloc { .. } => Purity::Impure,
+                            Inst::Call { callee, .. } => levels[callee.index()],
+                            Inst::CallExt { effect, .. } => match effect {
+                                ExtEffect::Pure => Purity::Pure,
+                                ExtEffect::ReadOnly => Purity::ReadOnly,
+                                ExtEffect::Opaque => Purity::Impure,
+                            },
+                            // Instrumentation opcodes are invisible to the
+                            // analysis (they exist to *preserve* semantics).
+                            _ => Purity::Pure,
+                        };
+                        level = level.join(effect);
+                        if level == Purity::Impure {
+                            break;
+                        }
+                    }
+                }
+                if level != levels[fi.index()] {
+                    levels[fi.index()] = level;
+                    changed = true;
+                }
+            }
+        }
+        Self { levels }
+    }
+
+    /// Purity of function `f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is out of range.
+    pub fn purity(&self, f: FuncId) -> Purity {
+        self.levels[f.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use encore_ir::{AddrExpr, BinOp, ModuleBuilder, Operand};
+
+    #[test]
+    fn arithmetic_function_is_pure() {
+        let mut mb = ModuleBuilder::new("m");
+        let f = mb.function("sq", 1, |f| {
+            let p = f.param(0);
+            let r = f.bin(BinOp::Mul, p.into(), p.into());
+            f.ret(Some(r.into()));
+        });
+        let s = PuritySummary::compute(&mb.finish());
+        assert_eq!(s.purity(f), Purity::Pure);
+    }
+
+    #[test]
+    fn loads_make_readonly_stores_make_impure() {
+        let mut mb = ModuleBuilder::new("m");
+        let g = mb.global("g", 2);
+        let ro = mb.function("reader", 0, |f| {
+            let v = f.load(AddrExpr::global(g, 0));
+            f.ret(Some(v.into()));
+        });
+        let w = mb.function("writer", 0, |f| {
+            f.store(AddrExpr::global(g, 1), Operand::ImmI(1));
+            f.ret(None);
+        });
+        let s = PuritySummary::compute(&mb.finish());
+        assert_eq!(s.purity(ro), Purity::ReadOnly);
+        assert_eq!(s.purity(w), Purity::Impure);
+    }
+
+    #[test]
+    fn purity_propagates_through_calls() {
+        let mut mb = ModuleBuilder::new("m");
+        let g = mb.global("g", 1);
+        let writer = mb.function("writer", 0, |f| {
+            f.store(AddrExpr::global(g, 0), Operand::ImmI(1));
+            f.ret(None);
+        });
+        let caller = mb.function("caller", 0, |f| {
+            f.call_void(writer, &[]);
+            f.ret(None);
+        });
+        let s = PuritySummary::compute(&mb.finish());
+        assert_eq!(s.purity(caller), Purity::Impure);
+    }
+
+    #[test]
+    fn recursion_reaches_fixpoint() {
+        let mut mb = ModuleBuilder::new("m");
+        let f = mb.declare("rec", 1);
+        mb.define(f, |fb| {
+            let p = fb.param(0);
+            fb.if_else(
+                p.into(),
+                |fb| {
+                    let dec = fb.bin(BinOp::Sub, p.into(), Operand::ImmI(1));
+                    let r = fb.call(f, &[dec.into()]);
+                    fb.ret(Some(r.into()));
+                },
+                |fb| fb.ret(Some(Operand::ImmI(0))),
+            );
+        });
+        let s = PuritySummary::compute(&mb.finish());
+        assert_eq!(s.purity(f), Purity::Pure);
+    }
+
+    #[test]
+    fn ext_call_effects_respected() {
+        use encore_ir::ExtEffect;
+        let mut mb = ModuleBuilder::new("m");
+        let p = mb.function("uses_sin", 1, |f| {
+            let a = f.param(0);
+            let r = f.call_ext("sin", &[a.into()], ExtEffect::Pure);
+            f.ret(Some(r.into()));
+        });
+        let o = mb.function("uses_sys", 0, |f| {
+            f.call_ext_void("write", &[], ExtEffect::Opaque);
+            f.ret(None);
+        });
+        let s = PuritySummary::compute(&mb.finish());
+        assert_eq!(s.purity(p), Purity::Pure);
+        assert_eq!(s.purity(o), Purity::Impure);
+    }
+
+    #[test]
+    fn alloc_is_impure() {
+        let mut mb = ModuleBuilder::new("m");
+        let f = mb.function("allocs", 0, |f| {
+            let p = f.alloc(Operand::ImmI(8));
+            f.ret(Some(p.into()));
+        });
+        let s = PuritySummary::compute(&mb.finish());
+        assert_eq!(s.purity(f), Purity::Impure);
+    }
+}

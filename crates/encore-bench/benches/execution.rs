@@ -1,0 +1,115 @@
+//! Criterion microbenchmarks for the runtime side: interpreter
+//! throughput, and baseline vs. Encore-instrumented execution — the
+//! wall-clock analogue of Figure 7a's dynamic-instruction overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use encore_bench::prepare;
+use encore_core::{Encore, EncoreConfig};
+use encore_sim::{run_function, RunConfig, Value};
+
+fn bench_interpreter_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interpreter_throughput");
+    for name in ["172.mgrid", "rawcaudio"] {
+        let w = encore_workloads::by_name(name).expect("workload");
+        let dyn_insts = run_function(
+            &w.module,
+            None,
+            w.entry,
+            &[Value::Int(w.eval_arg)],
+            &RunConfig::default(),
+        )
+        .dyn_insts;
+        group.throughput(Throughput::Elements(dyn_insts));
+        group.bench_with_input(BenchmarkId::from_parameter(name), &w, |b, w| {
+            b.iter(|| {
+                run_function(
+                    &w.module,
+                    None,
+                    w.entry,
+                    &[Value::Int(w.eval_arg)],
+                    &RunConfig::default(),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_instrumented_vs_baseline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("instrumentation_overhead");
+    for name in ["164.gzip", "g721encode"] {
+        let prepared = prepare(encore_workloads::by_name(name).expect("workload"));
+        let outcome =
+            Encore::new(EncoreConfig::default()).run(&prepared.workload.module, &prepared.profile);
+        group.bench_function(format!("{name}/baseline"), |b| {
+            b.iter(|| {
+                run_function(
+                    &prepared.workload.module,
+                    None,
+                    prepared.workload.entry,
+                    &[Value::Int(prepared.workload.eval_arg)],
+                    &RunConfig::default(),
+                )
+            });
+        });
+        group.bench_function(format!("{name}/instrumented"), |b| {
+            b.iter(|| {
+                run_function(
+                    &outcome.instrumented.module,
+                    Some(&outcome.instrumented.map),
+                    prepared.workload.entry,
+                    &[Value::Int(prepared.workload.eval_arg)],
+                    &RunConfig::default(),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_profiling_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("profiling_cost");
+    let w = encore_workloads::by_name("197.parser").expect("workload");
+    group.bench_function("plain", |b| {
+        b.iter(|| {
+            run_function(
+                &w.module,
+                None,
+                w.entry,
+                &[Value::Int(w.train_arg)],
+                &RunConfig::default(),
+            )
+        });
+    });
+    group.bench_function("with_profile", |b| {
+        b.iter(|| {
+            run_function(
+                &w.module,
+                None,
+                w.entry,
+                &[Value::Int(w.train_arg)],
+                &RunConfig { collect_profile: true, ..Default::default() },
+            )
+        });
+    });
+    group.bench_function("with_trace", |b| {
+        b.iter(|| {
+            run_function(
+                &w.module,
+                None,
+                w.entry,
+                &[Value::Int(w.train_arg)],
+                &RunConfig { collect_trace: true, ..Default::default() },
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_interpreter_throughput,
+    bench_instrumented_vs_baseline,
+    bench_profiling_cost
+);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Criterion microbenchmarks for the fault-injection machinery: the cost
+//! of a single injected run (with and without rollback) and of a small
+//! SFI batch — what bounds the Monte-Carlo campaign sizes in Figure 8's
+//! cross-validation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use encore_bench::prepare;
+use encore_core::{Encore, EncoreConfig};
+use encore_sim::{run_function, FaultPlan, RunConfig, SfiCampaign, SfiConfig, Value};
+
+fn bench_single_injection(c: &mut Criterion) {
+    let prepared = prepare(encore_workloads::by_name("rawdaudio").expect("workload"));
+    let outcome =
+        Encore::new(EncoreConfig::default()).run(&prepared.workload.module, &prepared.profile);
+    let mut group = c.benchmark_group("single_injection");
+    group.bench_function("early_fault_with_rollback", |b| {
+        b.iter(|| {
+            run_function(
+                &outcome.instrumented.module,
+                Some(&outcome.instrumented.map),
+                prepared.workload.entry,
+                &[Value::Int(prepared.workload.eval_arg)],
+                &RunConfig {
+                    fault: Some(FaultPlan { inject_at: 100, bit: 5, detect_latency: 3 }),
+                    ..Default::default()
+                },
+            )
+        });
+    });
+    group.bench_function("late_fault", |b| {
+        b.iter(|| {
+            run_function(
+                &outcome.instrumented.module,
+                Some(&outcome.instrumented.map),
+                prepared.workload.entry,
+                &[Value::Int(prepared.workload.eval_arg)],
+                &RunConfig {
+                    fault: Some(FaultPlan { inject_at: 5000, bit: 31, detect_latency: 50 }),
+                    ..Default::default()
+                },
+            )
+        });
+    });
+    group.finish();
+}
+
+fn bench_sfi_batch(c: &mut Criterion) {
+    let prepared = prepare(encore_workloads::by_name("rawdaudio").expect("workload"));
+    let outcome =
+        Encore::new(EncoreConfig::default()).run(&prepared.workload.module, &prepared.profile);
+    let sfi = SfiConfig { injections: 20, dmax: 100, ..Default::default() };
+    let campaign = SfiCampaign::new(
+        &outcome.instrumented.module,
+        Some(&outcome.instrumented.map),
+        prepared.workload.entry,
+        &[Value::Int(prepared.workload.eval_arg)],
+        &sfi,
+    );
+    c.bench_function("sfi_batch_20", |b| {
+        b.iter(|| campaign.run(&sfi));
+    });
+}
+
+criterion_group!(benches, bench_single_injection, bench_sfi_batch);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Runs every paper experiment in sequence (Table 1, Figures 1, 5, 6,
+//! 7a, 7b, 8) by invoking the sibling harness binaries' logic through a
+//! single process. Used to regenerate `EXPERIMENTS.md` data.
+//!
+//! Usage: `experiments [--workloads a,b,c] [--sfi N]`
+
+use std::process::Command;
+
+fn main() {
+    let exe = std::env::current_exe().expect("current exe");
+    let dir = exe.parent().expect("bin dir");
+    let pass_through: Vec<String> = std::env::args().skip(1).collect();
+
+    for bin in ["table1", "fig1", "fig5", "fig6", "fig7a", "fig7b", "fig8"] {
+        let path = dir.join(bin);
+        let status = Command::new(&path)
+            .args(&pass_through)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        assert!(status.success(), "{bin} failed");
+    }
+}

@@ -1,0 +1,62 @@
+//! Figure 6: breakdown of dynamic execution time across inherently
+//! idempotent regions, regions instrumented with Encore checkpointing,
+//! and unprotected regions (lost coverage).
+//!
+//! Usage: `fig6 [--workloads a,b,c]`
+
+use encore_bench::report::{banner, pct, Table};
+use encore_bench::{encore_run, prepare, selected_workloads};
+use encore_core::EncoreConfig;
+use encore_workloads::Suite;
+
+fn main() {
+    banner("Figure 6: dynamic execution breakdown (Pmin = 0.0, ~20% budget)");
+
+    let mut table = Table::new(&[
+        "workload",
+        "idempotent",
+        "w/ Encore ckpt",
+        "w/o Encore ckpt",
+    ]);
+    let mut suite_acc: std::collections::BTreeMap<Suite, (f64, f64, f64, usize)> =
+        Default::default();
+
+    for w in selected_workloads() {
+        let suite = w.suite;
+        let name = w.name;
+        let prepared = prepare(w);
+        let run = encore_run(&prepared, &EncoreConfig::default());
+        let b = run.outcome.breakdown;
+        table.row(vec![
+            name.to_string(),
+            pct(b.idempotent),
+            pct(b.checkpointed),
+            pct(b.unprotected),
+        ]);
+        let e = suite_acc.entry(suite).or_insert((0.0, 0.0, 0.0, 0));
+        e.0 += b.idempotent;
+        e.1 += b.checkpointed;
+        e.2 += b.unprotected;
+        e.3 += 1;
+    }
+    println!("{}", table.render());
+
+    let mut means = Table::new(&["suite", "idempotent", "w/ ckpt", "w/o ckpt"]);
+    for suite in Suite::all() {
+        if let Some((a, b, c, n)) = suite_acc.get(&suite) {
+            let n = *n as f64;
+            means.row(vec![
+                suite.label().to_string(),
+                pct(a / n),
+                pct(b / n),
+                pct(c / n),
+            ]);
+        }
+    }
+    println!("Suite means:");
+    println!("{}", means.render());
+    println!(
+        "Expected shape: SPEC2K-FP and Mediabench spend more of their runtime\n\
+         in Encore-recoverable (idempotent + checkpointed) code than SPEC2K-INT."
+    );
+}

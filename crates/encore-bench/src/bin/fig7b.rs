@@ -1,0 +1,77 @@
+//! Figure 7b: checkpoint storage overhead — average bytes per
+//! instrumented region, split into memory checkpoints (16 B: value +
+//! address) and register checkpoints (8 B: value).
+//!
+//! Usage: `fig7b [--workloads a,b,c]`
+
+use encore_bench::report::{banner, f2, Table};
+use encore_bench::{encore_run, prepare, selected_workloads};
+use encore_core::EncoreConfig;
+use encore_workloads::Suite;
+
+fn main() {
+    banner("Figure 7b: checkpoint storage (avg bytes / region)");
+
+    let mut table = Table::new(&[
+        "workload",
+        "memory B",
+        "register B",
+        "total B",
+        "regions",
+        "measured high-water B",
+    ]);
+    let mut suite_acc: std::collections::BTreeMap<Suite, (f64, f64, usize)> = Default::default();
+    let mut all_mem = Vec::new();
+    let mut all_reg = Vec::new();
+
+    for w in selected_workloads() {
+        let suite = w.suite;
+        let name = w.name;
+        let prepared = prepare(w);
+        let run = encore_run(&prepared, &EncoreConfig::default());
+        let s = &run.outcome.instrumented.storage;
+        table.row(vec![
+            name.to_string(),
+            f2(s.avg_mem_bytes()),
+            f2(s.avg_reg_bytes()),
+            f2(s.avg_total_bytes()),
+            s.per_region.len().to_string(),
+            run.instrumented_run.ckpt_high_water_bytes.to_string(),
+        ]);
+        let e = suite_acc.entry(suite).or_insert((0.0, 0.0, 0));
+        e.0 += s.avg_mem_bytes();
+        e.1 += s.avg_reg_bytes();
+        e.2 += 1;
+        all_mem.push(s.avg_mem_bytes());
+        all_reg.push(s.avg_reg_bytes());
+    }
+    println!("{}", table.render());
+
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    let mut means = Table::new(&["suite", "memory B", "register B", "total B"]);
+    for suite in Suite::all() {
+        if let Some((m, r, n)) = suite_acc.get(&suite) {
+            let n = *n as f64;
+            means.row(vec![
+                suite.label().to_string(),
+                f2(m / n),
+                f2(r / n),
+                f2(m / n + r / n),
+            ]);
+        }
+    }
+    means.row(vec![
+        "ALL".to_string(),
+        f2(mean(&all_mem)),
+        f2(mean(&all_reg)),
+        f2(mean(&all_mem) + mean(&all_reg)),
+    ]);
+    println!("Suite means:");
+    println!("{}", means.render());
+    println!(
+        "Expected shape: tens of bytes per region (paper mean: 24 B) — orders\n\
+         of magnitude below full-system checkpoint footprints (Table 1).\n\
+         The high-water column is *measured* at runtime: the largest log any\n\
+         single region activation accumulated on the evaluation input."
+    );
+}

@@ -1,0 +1,150 @@
+//! # encore-bench
+//!
+//! Experiment harnesses that regenerate every table and figure of the
+//! Encore paper. Each experiment is a binary (`fig1`, `fig5`, `fig6`,
+//! `fig7a`, `fig7b`, `fig8`, `table1`, `experiments`); this library holds
+//! the shared driver: profile a workload on its training input, run the
+//! Encore pipeline, execute the instrumented module on the evaluation
+//! input, and measure rather than estimate whatever can be measured.
+
+#![warn(missing_docs)]
+
+pub mod report;
+
+use encore_analysis::Profile;
+use encore_core::{Encore, EncoreConfig, EncoreOutcome};
+use encore_sim::{run_function, RunConfig, RunResult, Value};
+use encore_workloads::Workload;
+
+/// A workload with its training profile and baseline evaluation run.
+#[derive(Debug)]
+pub struct PreparedWorkload {
+    /// The workload (module + inputs).
+    pub workload: Workload,
+    /// Profile collected on the training input.
+    pub profile: Profile,
+    /// Uninstrumented run on the evaluation input (the overhead
+    /// baseline and golden reference).
+    pub baseline: RunResult,
+}
+
+/// Profiles `workload` on its training input and runs the evaluation
+/// baseline.
+///
+/// # Panics
+///
+/// Panics if either run traps — workloads must be fault-free.
+pub fn prepare(workload: Workload) -> PreparedWorkload {
+    let train = run_function(
+        &workload.module,
+        None,
+        workload.entry,
+        &[Value::Int(workload.train_arg)],
+        &RunConfig { collect_profile: true, ..Default::default() },
+    );
+    assert!(
+        train.completed,
+        "{}: training run trapped: {:?}",
+        workload.name, train.trap
+    );
+    let baseline = run_function(
+        &workload.module,
+        None,
+        workload.entry,
+        &[Value::Int(workload.eval_arg)],
+        &RunConfig::default(),
+    );
+    assert!(
+        baseline.completed,
+        "{}: baseline run trapped: {:?}",
+        workload.name, baseline.trap
+    );
+    let profile = train.profile.clone().expect("profile requested");
+    PreparedWorkload { workload, profile, baseline }
+}
+
+/// Pipeline output plus *measured* runtime overhead.
+#[derive(Debug)]
+pub struct EncoreRun {
+    /// The compiler pipeline's outcome (analysis, selection,
+    /// instrumentation, models).
+    pub outcome: EncoreOutcome,
+    /// Instrumented-module run on the evaluation input.
+    pub instrumented_run: RunResult,
+    /// Measured runtime overhead: extra dynamic instructions of the
+    /// instrumented evaluation run relative to the baseline.
+    pub measured_overhead: f64,
+}
+
+/// Runs the Encore pipeline on a prepared workload and measures the
+/// actual instrumented-run overhead on the evaluation input.
+///
+/// # Panics
+///
+/// Panics if the instrumented run traps or diverges observably from the
+/// baseline — instrumentation must be semantics-preserving.
+pub fn encore_run(prepared: &PreparedWorkload, config: &EncoreConfig) -> EncoreRun {
+    let outcome = Encore::new(config.clone()).run(&prepared.workload.module, &prepared.profile);
+    let instrumented_run = run_function(
+        &outcome.instrumented.module,
+        Some(&outcome.instrumented.map),
+        prepared.workload.entry,
+        &[Value::Int(prepared.workload.eval_arg)],
+        &RunConfig::default(),
+    );
+    assert!(
+        instrumented_run.completed,
+        "{}: instrumented run trapped: {:?}",
+        prepared.workload.name, instrumented_run.trap
+    );
+    assert!(
+        instrumented_run.observably_equal(&prepared.baseline),
+        "{}: instrumentation changed program semantics",
+        prepared.workload.name
+    );
+    let base = prepared.baseline.dyn_insts.max(1) as f64;
+    let measured_overhead = (instrumented_run.dyn_insts as f64 - base) / base;
+    EncoreRun { outcome, instrumented_run, measured_overhead }
+}
+
+/// Prepares every workload (in figure order).
+pub fn prepare_all() -> Vec<PreparedWorkload> {
+    encore_workloads::all().into_iter().map(prepare).collect()
+}
+
+/// Parses a `--workloads a,b,c` filter from argv; `None` = all.
+pub fn workload_filter() -> Option<Vec<String>> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter().position(|a| a == "--workloads").map(|i| {
+        args.get(i + 1)
+            .map(|s| s.split(',').map(str::to_string).collect())
+            .unwrap_or_default()
+    })
+}
+
+/// Applies the `--workloads` filter to the full suite.
+pub fn selected_workloads() -> Vec<Workload> {
+    let all = encore_workloads::all();
+    match workload_filter() {
+        None => all,
+        Some(names) => all
+            .into_iter()
+            .filter(|w| names.iter().any(|n| n == w.name))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prepare_and_run_one_workload() {
+        let w = encore_workloads::by_name("rawcaudio").expect("exists");
+        let prepared = prepare(w);
+        assert!(prepared.profile.total_dyn_insts > 0);
+        let run = encore_run(&prepared, &EncoreConfig::default());
+        assert!(run.measured_overhead >= 0.0);
+        assert!(run.instrumented_run.completed);
+    }
+}

@@ -1,0 +1,12 @@
+//! Thin binary wrapper around [`encore_cli::dispatch`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match encore_cli::dispatch(&args) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,924 @@
+//! The Encore idempotence analysis (paper §3.1).
+//!
+//! For a SEME region the analysis computes, per basic block:
+//!
+//! * **RS** — *reachable stores* (Eq. 1): stores that could still execute
+//!   once control has passed through the block (self-inclusive, matching
+//!   Figure 4 of the paper);
+//! * **GA** — *guarded addresses* (Eq. 2): cells guaranteed to have been
+//!   overwritten on every path from the region entry to the block;
+//! * **EA** — *exposed addresses* (Eq. 3): loads that may have read a cell
+//!   not previously overwritten.
+//!
+//! The region is idempotent iff `EA(bb) ∩ RS(bb) = ∅` for every block
+//! (Eq. 4), where the intersection is resolved through a conservative
+//! alias oracle. Each offending store lands in the *checkpoint set* CP
+//! (§3.2).
+//!
+//! ## Loops
+//!
+//! The paper summarizes loops hierarchically and notes the sets are built
+//! with "multiple post-order traversals" — i.e. an iterative dataflow.
+//! This implementation runs the equivalent *fixpoint* directly on the
+//! region's (possibly cyclic) induced subgraph: around a cycle the RS
+//! fixpoint makes every block in a loop reach every store of the loop
+//! (`RS = ASˡ`, §3.1.2's cross-iteration rule), and GA/EA propagate
+//! through back edges, which is exactly what the loop meta-data achieves.
+//! [`IdempotenceAnalyzer::summarize_loop`] additionally exposes the paper's per-loop
+//! `RSˡ`/`GAˡ`/`EAˡ` meta-data for inspection and testing.
+//!
+//! ## Profile pruning (§3.4.1)
+//!
+//! Blocks whose execution probability (relative to the region header) is
+//! `≤ Pmin` are pruned from the analysis: their memory effects vanish and
+//! edges through them disappear, yielding *statistical* idempotence.
+
+use crate::memref::{
+    is_imprecise_summary, summary_addr_expr, AbsAddr, GuardAddr, GuardSet, LoadSite, StoreSite,
+};
+use encore_analysis::{AddrSet, AliasOracle, MemSummary};
+use encore_ir::{BlockId, FuncId, Function, Inst, InstRef, Module};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A candidate recovery region: a SEME subgraph of one function.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RegionSpec {
+    /// Function containing the region.
+    pub func: FuncId,
+    /// Region header (single entry; dominates all members).
+    pub header: BlockId,
+    /// All member blocks, header included.
+    pub blocks: BTreeSet<BlockId>,
+}
+
+/// Outcome of the idempotence test for one region.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Verdict {
+    /// No WAR hazard on any live path: re-executable for free.
+    Idempotent,
+    /// WAR hazards exist.
+    NonIdempotent {
+        /// `true` if every hazard can be neutralized by checkpointing the
+        /// offending stores; `false` when a live block allocates memory
+        /// (re-execution would observably re-allocate).
+        checkpointable: bool,
+    },
+    /// The region contains calls the analysis cannot see through
+    /// (opaque externals / impure internals) on live paths.
+    Unknown,
+}
+
+impl Verdict {
+    /// `true` for [`Verdict::Idempotent`].
+    pub fn is_idempotent(&self) -> bool {
+        matches!(self, Verdict::Idempotent)
+    }
+
+    /// `true` when the region can be instrumented for recovery (either
+    /// already idempotent or checkpointable).
+    pub fn is_protectable(&self) -> bool {
+        matches!(
+            self,
+            Verdict::Idempotent | Verdict::NonIdempotent { checkpointable: true }
+        )
+    }
+}
+
+/// A WAR hazard: an exposed load whose cell a reachable store may
+/// overwrite.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Violation {
+    /// The overwriting store (checkpoint candidate).
+    pub store: StoreSite,
+    /// The exposed load.
+    pub load: LoadSite,
+}
+
+/// Full result of analyzing one region.
+#[derive(Clone, PartialEq, Debug)]
+pub struct RegionAnalysis {
+    /// The verdict (Eq. 4 plus call/alloc handling).
+    pub verdict: Verdict,
+    /// Checkpoint set CP: stores that must be checkpointed to make the
+    /// region re-executable (empty for idempotent regions).
+    pub cp: Vec<StoreSite>,
+    /// All WAR hazards found (one store may appear in several).
+    pub violations: Vec<Violation>,
+    /// Blocks that participated in the analysis after pruning.
+    pub live_blocks: BTreeSet<BlockId>,
+    /// Blocks pruned by the `Pmin` heuristic (or unreachable from the
+    /// header once pruned blocks were removed).
+    pub pruned_blocks: BTreeSet<BlockId>,
+}
+
+/// Per-block effects extracted once per function.
+#[derive(Clone, Debug, Default)]
+struct BlockEffects {
+    may_stores: Vec<StoreSite>,
+    must_guards: GuardSet,
+    exposed: Vec<LoadSite>,
+    unknown: bool,
+    alloc: bool,
+}
+
+/// The paper's loop-wide meta-data (§3.1.2), exposed for inspection.
+#[derive(Clone, PartialEq, Debug)]
+pub struct LoopSummary {
+    /// `RSˡ = ASˡ`: every store in the loop.
+    pub reachable_stores: Vec<StoreSite>,
+    /// `GAˡ`: cells guaranteed overwritten whenever the loop executes.
+    pub guarded: GuardSet,
+    /// `EAˡ`: loads exposed across all paths through the loop.
+    pub exposed: Vec<LoadSite>,
+    /// Whether the loop body itself passes Eq. 4.
+    pub idempotent: bool,
+}
+
+/// The idempotence analyzer: module-wide immutable inputs plus an alias
+/// oracle.
+pub struct IdempotenceAnalyzer<'a> {
+    module: &'a Module,
+    memsum: MemSummary,
+    oracle: &'a dyn AliasOracle,
+}
+
+impl std::fmt::Debug for IdempotenceAnalyzer<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IdempotenceAnalyzer")
+            .field("module", &self.module.name)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> IdempotenceAnalyzer<'a> {
+    /// Creates an analyzer over `module` using `oracle` for alias
+    /// queries. Inter-procedural memory summaries ([`MemSummary`]) are
+    /// computed up front so call sites can be treated as bundles of
+    /// loads/stores instead of pessimistic Unknowns.
+    pub fn new(module: &'a Module, oracle: &'a dyn AliasOracle) -> Self {
+        Self { module, memsum: MemSummary::compute(module), oracle }
+    }
+
+    /// Extracts the local effects of block `b` in `func`.
+    fn block_effects(&self, func: &Function, fid: FuncId, b: BlockId) -> BlockEffects {
+        let _ = fid;
+        let mut fx = BlockEffects::default();
+        let mut local_guards: GuardSet = GuardSet::new();
+        for (i, inst) in func.block(b).insts.iter().enumerate() {
+            let at = InstRef::new(b, i);
+            match inst {
+                Inst::Load { addr, .. } => {
+                    let guarded = GuardAddr::of(addr)
+                        .map(|g| local_guards.contains(&g))
+                        .unwrap_or(false);
+                    if !guarded {
+                        fx.exposed.push(LoadSite { at, addr: AbsAddr::Expr(*addr) });
+                    }
+                }
+                Inst::Store { addr, .. } => {
+                    fx.may_stores.push(StoreSite { at, addr: *addr });
+                    if let Some(g) = GuardAddr::of(addr) {
+                        local_guards.insert(g);
+                        fx.must_guards.insert(g);
+                    }
+                }
+                Inst::Alloc { .. } => fx.alloc = true,
+                Inst::Call { callee, .. } => {
+                    // A call is a bundle of its callee's (transitive)
+                    // caller-visible effects. Re-executing the region
+                    // re-executes the call, so callee loads are exposed
+                    // loads and callee stores are may-stores at the call
+                    // site; callee-internal WARs then surface naturally
+                    // as call-site load/store conflicts.
+                    let fx_callee = self.memsum.effects(*callee);
+                    if fx_callee.allocates {
+                        fx.alloc = true;
+                    }
+                    match &fx_callee.stores {
+                        AddrSet::Top => fx.unknown = true,
+                        AddrSet::Set(stores) => {
+                            match &fx_callee.loads {
+                                AddrSet::Top => {
+                                    fx.exposed.push(LoadSite { at, addr: AbsAddr::Top })
+                                }
+                                AddrSet::Set(_) => {
+                                    for a in fx_callee.loads.iter() {
+                                        fx.exposed.push(LoadSite {
+                                            at,
+                                            addr: AbsAddr::Expr(summary_addr_expr(a)),
+                                        });
+                                    }
+                                }
+                            }
+                            for a in stores {
+                                fx.may_stores
+                                    .push(StoreSite { at, addr: summary_addr_expr(a) });
+                            }
+                        }
+                    }
+                }
+                Inst::CallExt { effect, .. } => match effect {
+                    encore_ir::ExtEffect::Pure => {}
+                    encore_ir::ExtEffect::ReadOnly => {
+                        fx.exposed.push(LoadSite { at, addr: AbsAddr::Top })
+                    }
+                    encore_ir::ExtEffect::Opaque => fx.unknown = true,
+                },
+                // Encore's own instrumentation never participates: it
+                // exists to preserve, not change, region semantics.
+                Inst::SetRecovery { .. }
+                | Inst::CheckpointMem { .. }
+                | Inst::CheckpointReg { .. }
+                | Inst::Restore { .. } => {}
+                _ => {}
+            }
+        }
+        fx
+    }
+
+    /// May the exposed load `l` read the cell the store `s` writes?
+    /// Site-aware so profile-guided oracles can consult observed
+    /// footprints.
+    fn conflicts(&self, func: FuncId, l: &LoadSite, s: &StoreSite) -> bool {
+        match l.addr {
+            AbsAddr::Top => true,
+            AbsAddr::Expr(a) => {
+                let la = encore_analysis::SiteRef { func, at: l.at };
+                let sa = encore_analysis::SiteRef { func, at: s.at };
+                self.oracle.alias_at(Some(la), &a, Some(sa), &s.addr)
+                    != encore_analysis::AliasResult::No
+            }
+        }
+    }
+
+    /// Analyzes `spec`, pruning blocks for which `prune` returns `true`
+    /// (the header is never pruned).
+    pub fn analyze_region(
+        &self,
+        spec: &RegionSpec,
+        prune: &dyn Fn(BlockId) -> bool,
+    ) -> RegionAnalysis {
+        let state = self.dataflow(spec, prune);
+        self.check(spec, state)
+    }
+
+    /// Runs the RS/GA/EA fixpoints over the live subgraph of `spec`.
+    fn dataflow(&self, spec: &RegionSpec, prune: &dyn Fn(BlockId) -> bool) -> DataflowState {
+        let func = self.module.func(spec.func);
+
+        // 1. Live set: member blocks that survive pruning *and* remain
+        //    reachable from the header inside the region.
+        let unpruned: BTreeSet<BlockId> = spec
+            .blocks
+            .iter()
+            .copied()
+            .filter(|b| *b == spec.header || !prune(*b))
+            .collect();
+        let live: BTreeSet<BlockId> =
+            encore_analysis::order::reachable_from(func, spec.header, Some(&unpruned));
+        let pruned: BTreeSet<BlockId> =
+            spec.blocks.difference(&live).copied().collect();
+
+        let live_vec: Vec<BlockId> = live.iter().copied().collect();
+        let index_of: BTreeMap<BlockId, usize> =
+            live_vec.iter().enumerate().map(|(i, b)| (*b, i)).collect();
+        let n = live_vec.len();
+
+        // 2. Local effects + induced edges.
+        let effects: Vec<BlockEffects> = live_vec
+            .iter()
+            .map(|b| self.block_effects(func, spec.func, *b))
+            .collect();
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, b) in live_vec.iter().enumerate() {
+            for s in func.block(*b).successors() {
+                if let Some(&j) = index_of.get(&s) {
+                    succs[i].push(j);
+                    preds[j].push(i);
+                }
+            }
+        }
+
+        let unknown = effects.iter().any(|e| e.unknown);
+        let alloc = effects.iter().any(|e| e.alloc);
+
+        // Site tables: every load/store occurrence gets a dense key (a
+        // call site may contribute several summarized sites, so InstRefs
+        // alone are not unique keys).
+        let mut load_table: Vec<LoadSite> = Vec::new();
+        let mut store_table: Vec<StoreSite> = Vec::new();
+        let mut block_loads: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut block_stores: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for i in 0..n {
+            for l in &effects[i].exposed {
+                block_loads[i].push(load_table.len());
+                load_table.push(*l);
+            }
+            for s in &effects[i].may_stores {
+                block_stores[i].push(store_table.len());
+                store_table.push(*s);
+            }
+        }
+
+        // 3. RS fixpoint (Eq. 1, self-inclusive): RS(b) = AS(b) ∪ ⋃ RS(succ).
+        let mut rs: Vec<BTreeSet<usize>> =
+            (0..n).map(|i| block_stores[i].iter().copied().collect()).collect();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for i in 0..n {
+                let mut grown = false;
+                let snapshot: Vec<usize> = succs[i]
+                    .iter()
+                    .flat_map(|&j| rs[j].iter().copied().collect::<Vec<_>>())
+                    .collect();
+                for site in snapshot {
+                    grown |= rs[i].insert(site);
+                }
+                changed |= grown;
+            }
+        }
+
+        // 4. GA fixpoint (Eq. 2, must): GA(b) = ⋂_{p∈preds} (GA(p) ∪ MUST(p)),
+        //    header = ∅ (nothing is guarded at region entry). `None`
+        //    encodes the ⊤ initializer of a must-analysis.
+        let entry_idx = index_of[&spec.header];
+        let mut ga: Vec<Option<GuardSet>> = vec![None; n];
+        ga[entry_idx] = Some(GuardSet::new());
+        changed = true;
+        while changed {
+            changed = false;
+            for i in 0..n {
+                if i == entry_idx {
+                    continue;
+                }
+                let mut acc: Option<GuardSet> = None;
+                for &p in &preds[i] {
+                    let Some(gp) = &ga[p] else { continue };
+                    let mut contrib = gp.clone();
+                    contrib.extend(effects[p].must_guards.iter().copied());
+                    acc = Some(match acc {
+                        None => contrib,
+                        Some(cur) => cur.intersection(&contrib).copied().collect(),
+                    });
+                }
+                if let Some(new) = acc {
+                    if ga[i].as_ref() != Some(&new) {
+                        ga[i] = Some(new);
+                        changed = true;
+                    }
+                }
+            }
+        }
+
+        // 5. EA fixpoint (Eq. 3, may): EA(b) = ⋃_{p} EA(p) ∪ (EAˡᵒᶜ(b) − GA(b)).
+        let locally_exposed = |i: usize| -> Vec<usize> {
+            let guards = ga[i].clone().unwrap_or_default();
+            block_loads[i]
+                .iter()
+                .copied()
+                .filter(|&li| match load_table[li].addr {
+                    AbsAddr::Top => true,
+                    AbsAddr::Expr(a) => GuardAddr::of(&a)
+                        .map(|g| !guards.contains(&g))
+                        .unwrap_or(true),
+                })
+                .collect()
+        };
+
+        let mut ea: Vec<BTreeSet<usize>> = (0..n)
+            .map(|i| locally_exposed(i).into_iter().collect())
+            .collect();
+        changed = true;
+        while changed {
+            changed = false;
+            for i in 0..n {
+                let mut grown = false;
+                let snapshot: Vec<usize> = preds[i]
+                    .iter()
+                    .flat_map(|&p| ea[p].iter().copied().collect::<Vec<_>>())
+                    .collect();
+                for site in snapshot {
+                    grown |= ea[i].insert(site);
+                }
+                changed |= grown;
+            }
+        }
+
+        DataflowState {
+            live_vec,
+            index_of,
+            effects,
+            rs,
+            ga,
+            ea,
+            load_table,
+            store_table,
+            unknown,
+            alloc,
+            pruned,
+        }
+    }
+
+    /// Applies the Eq. 4 emptiness check to a completed dataflow.
+    fn check(&self, spec: &RegionSpec, state: DataflowState) -> RegionAnalysis {
+        let DataflowState {
+            live_vec,
+            rs,
+            ea,
+            load_table,
+            store_table,
+            unknown,
+            alloc,
+            pruned,
+            ..
+        } = state;
+        let n = live_vec.len();
+
+        // Eq. 4 check per block, recording CP.
+        let mut pair_cache: BTreeMap<(usize, usize), bool> = BTreeMap::new();
+        let mut violations: Vec<Violation> = Vec::new();
+        let mut seen_pairs: BTreeSet<(usize, usize)> = BTreeSet::new();
+        let mut cp_sites: BTreeSet<usize> = BTreeSet::new();
+        let mut imprecise_violation = false;
+        for i in 0..n {
+            for &lat in &ea[i] {
+                let l = load_table[lat];
+                for &sat in &rs[i] {
+                    let conflict = *pair_cache
+                        .entry((lat, sat))
+                        .or_insert_with(|| self.conflicts(spec.func, &l, &store_table[sat]));
+                    if conflict && seen_pairs.insert((sat, lat)) {
+                        violations.push(Violation { store: store_table[sat], load: l });
+                        cp_sites.insert(sat);
+                        // A "some cell of g" callee-summary store cannot
+                        // be checkpointed from a single slot.
+                        if is_imprecise_summary(&store_table[sat].addr) {
+                            imprecise_violation = true;
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut cp: Vec<StoreSite> = Vec::new();
+        for &s in &cp_sites {
+            let site = store_table[s];
+            if !cp.iter().any(|e| e.at == site.at && e.addr == site.addr) {
+                cp.push(site);
+            }
+        }
+        let verdict = if unknown {
+            Verdict::Unknown
+        } else if alloc || imprecise_violation {
+            // Re-executing an allocation observably re-allocates, and a
+            // dynamic-offset callee store cannot be checkpointed from a
+            // single reserved slot: either way the region is
+            // unprotectable.
+            Verdict::NonIdempotent { checkpointable: false }
+        } else if cp.is_empty() {
+            Verdict::Idempotent
+        } else {
+            Verdict::NonIdempotent { checkpointable: true }
+        };
+
+        RegionAnalysis {
+            verdict,
+            cp,
+            violations,
+            live_blocks: live_vec.into_iter().collect(),
+            pruned_blocks: pruned,
+        }
+    }
+
+    /// Computes the paper's loop-wide meta-data (§3.1.2) for the loop made
+    /// of `blocks` with header `header`: `RSˡ = ASˡ`,
+    /// `GAˡ = ⋂ exits (GA ∪ MUST)`, `EAˡ = ⋃ exits EA`, and the loop-body
+    /// idempotence verdict.
+    pub fn summarize_loop(
+        &self,
+        func_id: FuncId,
+        header: BlockId,
+        blocks: &BTreeSet<BlockId>,
+    ) -> LoopSummary {
+        let func = self.module.func(func_id);
+        let spec = RegionSpec { func: func_id, header, blocks: blocks.clone() };
+        let state = self.dataflow(&spec, &|_| false);
+
+        // RSˡ = ASˡ: every store inside the loop.
+        let reachable_stores: Vec<StoreSite> = state.store_table.clone();
+
+        // Exits: blocks with a successor outside the loop.
+        let exits: Vec<BlockId> = blocks
+            .iter()
+            .copied()
+            .filter(|b| func.block(*b).successors().iter().any(|s| !blocks.contains(s)))
+            .collect();
+
+        let mut guarded: Option<GuardSet> = None;
+        let mut exposed_sites: BTreeSet<usize> = BTreeSet::new();
+        for &e in &exits {
+            let Some(&i) = state.index_of.get(&e) else { continue };
+            let mut g: GuardSet = state.ga[i].clone().unwrap_or_default();
+            g.extend(state.effects[i].must_guards.iter().copied());
+            guarded = Some(match guarded {
+                None => g,
+                Some(cur) => cur.intersection(&g).copied().collect(),
+            });
+            exposed_sites.extend(state.ea[i].iter().copied());
+        }
+        let exposed: Vec<LoadSite> =
+            exposed_sites.iter().map(|&s| state.load_table[s]).collect();
+
+        let analysis = self.check(&spec, state);
+        LoopSummary {
+            reachable_stores,
+            guarded: guarded.unwrap_or_default(),
+            exposed,
+            idempotent: analysis.verdict.is_idempotent(),
+        }
+    }
+}
+
+/// Completed dataflow over a region's live subgraph.
+struct DataflowState {
+    live_vec: Vec<BlockId>,
+    index_of: BTreeMap<BlockId, usize>,
+    effects: Vec<BlockEffects>,
+    ga: Vec<Option<GuardSet>>,
+    rs: Vec<BTreeSet<usize>>,
+    ea: Vec<BTreeSet<usize>>,
+    load_table: Vec<LoadSite>,
+    store_table: Vec<StoreSite>,
+    unknown: bool,
+    alloc: bool,
+    pruned: BTreeSet<BlockId>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use encore_analysis::StaticAlias;
+    use encore_ir::{AddrExpr, BinOp, ModuleBuilder, Operand};
+
+    fn analyze(m: &Module, spec: &RegionSpec) -> RegionAnalysis {
+        let oracle = StaticAlias;
+        let az = IdempotenceAnalyzer::new(m, &oracle);
+        az.analyze_region(spec, &|_| false)
+    }
+
+    fn whole_function_region(m: &Module, f: FuncId) -> RegionSpec {
+        RegionSpec {
+            func: f,
+            header: m.func(f).entry(),
+            blocks: m.func(f).block_ids().collect(),
+        }
+    }
+
+    #[test]
+    fn read_only_region_is_idempotent() {
+        let mut mb = ModuleBuilder::new("m");
+        let g = mb.global("g", 4);
+        let f = mb.function("f", 0, |f| {
+            let a = f.load(AddrExpr::global(g, 0));
+            let b = f.load(AddrExpr::global(g, 1));
+            let s = f.bin(BinOp::Add, a.into(), b.into());
+            f.ret(Some(s.into()));
+        });
+        let m = mb.finish();
+        let r = analyze(&m, &whole_function_region(&m, f));
+        assert_eq!(r.verdict, Verdict::Idempotent);
+        assert!(r.cp.is_empty());
+    }
+
+    #[test]
+    fn war_in_single_block_detected() {
+        let mut mb = ModuleBuilder::new("m");
+        let g = mb.global("g", 1);
+        let f = mb.function("f", 0, |f| {
+            let v = f.load(AddrExpr::global(g, 0));
+            let v2 = f.bin(BinOp::Add, v.into(), Operand::ImmI(1));
+            f.store(AddrExpr::global(g, 0), v2.into());
+            f.ret(None);
+        });
+        let m = mb.finish();
+        let r = analyze(&m, &whole_function_region(&m, f));
+        assert_eq!(r.verdict, Verdict::NonIdempotent { checkpointable: true });
+        assert_eq!(r.cp.len(), 1);
+        assert_eq!(r.violations.len(), 1);
+    }
+
+    #[test]
+    fn store_then_load_is_idempotent() {
+        let mut mb = ModuleBuilder::new("m");
+        let g = mb.global("g", 1);
+        let f = mb.function("f", 0, |f| {
+            f.store(AddrExpr::global(g, 0), Operand::ImmI(7));
+            let v = f.load(AddrExpr::global(g, 0));
+            f.store(AddrExpr::global(g, 0), v.into());
+            f.ret(None);
+        });
+        let m = mb.finish();
+        let r = analyze(&m, &whole_function_region(&m, f));
+        assert_eq!(r.verdict, Verdict::Idempotent);
+    }
+
+    #[test]
+    fn guard_on_one_path_does_not_guard_the_other() {
+        // entry branches; only the then-arm stores g[0]; join loads g[0];
+        // a later store to g[0] completes the WAR on the else path.
+        let mut mb = ModuleBuilder::new("m");
+        let g = mb.global("g", 1);
+        let f = mb.function("f", 1, |f| {
+            let p = f.param(0);
+            f.if_else(
+                p.into(),
+                |f| f.store(AddrExpr::global(g, 0), Operand::ImmI(1)),
+                |_| {},
+            );
+            let v = f.load(AddrExpr::global(g, 0));
+            f.store(AddrExpr::global(g, 0), v.into());
+            f.ret(None);
+        });
+        let m = mb.finish();
+        let r = analyze(&m, &whole_function_region(&m, f));
+        assert_eq!(r.verdict, Verdict::NonIdempotent { checkpointable: true });
+    }
+
+    #[test]
+    fn guard_on_all_paths_guards_the_join() {
+        let mut mb = ModuleBuilder::new("m");
+        let g = mb.global("g", 1);
+        let f = mb.function("f", 1, |f| {
+            let p = f.param(0);
+            f.if_else(
+                p.into(),
+                |f| f.store(AddrExpr::global(g, 0), Operand::ImmI(1)),
+                |f| f.store(AddrExpr::global(g, 0), Operand::ImmI(2)),
+            );
+            let v = f.load(AddrExpr::global(g, 0));
+            f.store(AddrExpr::global(g, 0), v.into());
+            f.ret(None);
+        });
+        let m = mb.finish();
+        let r = analyze(&m, &whole_function_region(&m, f));
+        assert_eq!(r.verdict, Verdict::Idempotent);
+    }
+
+    #[test]
+    fn cross_iteration_war_detected() {
+        // for i in 0..n { t = g[0]; g[0] = t + i }  — WAR across iterations
+        // and within one iteration.
+        let mut mb = ModuleBuilder::new("m");
+        let g = mb.global("g", 1);
+        let f = mb.function("f", 1, |f| {
+            let n = f.param(0);
+            f.for_range(Operand::ImmI(0), n.into(), |f, i| {
+                let t = f.load(AddrExpr::global(g, 0));
+                let t2 = f.bin(BinOp::Add, t.into(), i.into());
+                f.store(AddrExpr::global(g, 0), t2.into());
+            });
+            f.ret(None);
+        });
+        let m = mb.finish();
+        let r = analyze(&m, &whole_function_region(&m, f));
+        assert_eq!(r.verdict, Verdict::NonIdempotent { checkpointable: true });
+        assert_eq!(r.cp.len(), 1);
+    }
+
+    #[test]
+    fn streaming_loop_is_idempotent() {
+        // for i in 0..n { out[i] = in_[i] * 2 } — no WAR: reads and writes
+        // go to different globals.
+        let mut mb = ModuleBuilder::new("m");
+        let src = mb.global("src", 64);
+        let dst = mb.global("dst", 64);
+        let f = mb.function("f", 1, |f| {
+            let n = f.param(0);
+            f.for_range(Operand::ImmI(0), n.into(), |f, i| {
+                let v = f.load(AddrExpr::indexed(encore_ir::MemBase::Global(src), i, 1, 0));
+                let v2 = f.bin(BinOp::Mul, v.into(), Operand::ImmI(2));
+                f.store(AddrExpr::indexed(encore_ir::MemBase::Global(dst), i, 1, 0), v2.into());
+            });
+            f.ret(None);
+        });
+        let m = mb.finish();
+        let r = analyze(&m, &whole_function_region(&m, f));
+        assert_eq!(r.verdict, Verdict::Idempotent);
+    }
+
+    #[test]
+    fn in_place_update_loop_may_conflict() {
+        // for i in 0..n { a[i] = a[j] + 1 } with dynamic indices: the
+        // conservative oracle must flag a potential cross-iteration WAR.
+        let mut mb = ModuleBuilder::new("m");
+        let a = mb.global("a", 64);
+        let f = mb.function("f", 2, |f| {
+            let n = f.param(0);
+            let j = f.param(1);
+            f.for_range(Operand::ImmI(0), n.into(), |f, i| {
+                let v = f.load(AddrExpr::indexed(encore_ir::MemBase::Global(a), j, 1, 0));
+                let v2 = f.bin(BinOp::Add, v.into(), Operand::ImmI(1));
+                f.store(AddrExpr::indexed(encore_ir::MemBase::Global(a), i, 1, 0), v2.into());
+            });
+            f.ret(None);
+        });
+        let m = mb.finish();
+        let r = analyze(&m, &whole_function_region(&m, f));
+        assert_eq!(r.verdict, Verdict::NonIdempotent { checkpointable: true });
+    }
+
+    #[test]
+    fn opaque_call_makes_region_unknown() {
+        let mut mb = ModuleBuilder::new("m");
+        let f = mb.function("f", 0, |f| {
+            f.call_ext_void("syscall", &[], encore_ir::ExtEffect::Opaque);
+            f.ret(None);
+        });
+        let m = mb.finish();
+        let r = analyze(&m, &whole_function_region(&m, f));
+        assert_eq!(r.verdict, Verdict::Unknown);
+    }
+
+    #[test]
+    fn alloc_makes_region_uncheckpointable() {
+        let mut mb = ModuleBuilder::new("m");
+        let f = mb.function("f", 0, |f| {
+            let p = f.alloc(Operand::ImmI(8));
+            f.ret(Some(p.into()));
+        });
+        let m = mb.finish();
+        let r = analyze(&m, &whole_function_region(&m, f));
+        assert_eq!(r.verdict, Verdict::NonIdempotent { checkpointable: false });
+        assert!(!r.verdict.is_protectable());
+    }
+
+    #[test]
+    fn pruning_cold_alloc_restores_idempotence() {
+        // Mirrors the 175.vpr try_swap example (paper Fig. 2c): a one-time
+        // allocation path poisons the region unless it is pruned away.
+        let mut mb = ModuleBuilder::new("m");
+        let g = mb.global("data", 8);
+        let f = mb.function("f", 1, |f| {
+            let first = f.param(0);
+            f.if_then(first.into(), |f| {
+                let p = f.alloc(Operand::ImmI(64));
+                f.store(AddrExpr::global(g, 0), p.into());
+            });
+            let v = f.load(AddrExpr::global(g, 1));
+            f.store(AddrExpr::global(g, 2), v.into());
+            f.ret(None);
+        });
+        let m = mb.finish();
+        let spec = whole_function_region(&m, f);
+        // Without pruning: alloc poisons the region.
+        let r = analyze(&m, &spec);
+        assert_eq!(r.verdict, Verdict::NonIdempotent { checkpointable: false });
+        // Pruning the cold then-arm (bb1): region becomes idempotent.
+        let oracle = StaticAlias;
+        let az = IdempotenceAnalyzer::new(&m, &oracle);
+        let cold = BlockId::new(1);
+        let r2 = az.analyze_region(&spec, &|b| b == cold);
+        assert_eq!(r2.verdict, Verdict::Idempotent);
+        assert!(r2.pruned_blocks.contains(&cold));
+    }
+
+    #[test]
+    fn readonly_call_exposes_everything() {
+        let mut mb = ModuleBuilder::new("m");
+        let g = mb.global("g", 1);
+        let f = mb.function("f", 0, |f| {
+            let v = f.call_ext("peek", &[], encore_ir::ExtEffect::ReadOnly);
+            f.store(AddrExpr::global(g, 0), v.into());
+            f.ret(None);
+        });
+        let m = mb.finish();
+        let r = analyze(&m, &whole_function_region(&m, f));
+        assert_eq!(r.verdict, Verdict::NonIdempotent { checkpointable: true });
+        assert_eq!(r.cp.len(), 1);
+    }
+
+    #[test]
+    fn pure_internal_call_is_transparent() {
+        let mut mb = ModuleBuilder::new("m");
+        let sq = mb.function("sq", 1, |f| {
+            let p = f.param(0);
+            let r = f.bin(BinOp::Mul, p.into(), p.into());
+            f.ret(Some(r.into()));
+        });
+        let g = mb.global("g", 1);
+        let f = mb.function("f", 0, |f| {
+            let v = f.call(sq, &[Operand::ImmI(3)]);
+            f.store(AddrExpr::global(g, 0), v.into());
+            f.ret(None);
+        });
+        let m = mb.finish();
+        let r = analyze(&m, &whole_function_region(&m, f));
+        assert_eq!(r.verdict, Verdict::Idempotent);
+    }
+
+    /// The worked example from Figure 4 of the paper: eight blocks, four
+    /// syntactic WAR pairs, of which exactly one (instructions 7 and 10,
+    /// the ⋆ pair on addresses "B") survives the path-sensitive-ish
+    /// analysis — instruction 10 is the only store needing a checkpoint.
+    #[test]
+    fn paper_figure_4_example() {
+        let mut mb = ModuleBuilder::new("m");
+        let ga = mb.global("A", 1);
+        let gb = mb.global("B", 1);
+        let gc = mb.global("C", 1);
+        let a = AddrExpr::global(ga, 0);
+        let b = AddrExpr::global(gb, 0);
+        let c = AddrExpr::global(gc, 0);
+        let f = mb.function("fig4", 1, |f| {
+            let p = f.param(0);
+            // bb1: 1: Store A
+            let bb2 = f.add_block();
+            let bb3 = f.add_block();
+            let bb4 = f.add_block();
+            let bb5 = f.add_block();
+            let bb6 = f.add_block();
+            let bb7 = f.add_block();
+            let bb8 = f.add_block();
+            f.store(a, Operand::ImmI(1));
+            f.branch(p.into(), bb2, bb3);
+            // bb2: 2: Store B ; 3: Store C
+            f.switch_to(bb2);
+            f.store(b, Operand::ImmI(2));
+            f.store(c, Operand::ImmI(3));
+            f.jump(bb5);
+            // bb3: 4: Load A ; 5: Store C
+            f.switch_to(bb3);
+            let v4 = f.load(a);
+            f.store(c, v4.into());
+            f.jump(bb4);
+            // bb4: 6: Load B
+            f.switch_to(bb4);
+            let v6 = f.load(b);
+            f.branch(v6.into(), bb5, bb6);
+            // bb5: 7: Load B
+            f.switch_to(bb5);
+            let v7 = f.load(b);
+            f.branch(v7.into(), bb7, bb8);
+            // bb6: 8: Load C
+            f.switch_to(bb6);
+            let v8 = f.load(c);
+            f.branch(v8.into(), bb7, bb8);
+            // bb7: 9: Store A ; 10: Store B ; 11: Load C
+            f.switch_to(bb7);
+            f.store(a, Operand::ImmI(9));
+            f.store(b, Operand::ImmI(10));
+            let v11 = f.load(c);
+            let _ = v11;
+            f.ret(None);
+            // bb8: 12: Store C
+            f.switch_to(bb8);
+            f.store(c, Operand::ImmI(12));
+            f.ret(None);
+        });
+        let m = mb.finish();
+        let r = analyze(&m, &whole_function_region(&m, f));
+        assert_eq!(r.verdict, Verdict::NonIdempotent { checkpointable: true });
+        // Exactly one checkpoint: instruction 10 (the store to B in bb7),
+        // matching the paper's "single dependency that actually requires
+        // checkpointing".
+        assert_eq!(r.cp.len(), 1, "CP = {:?}", r.cp);
+        let cp = &r.cp[0];
+        assert_eq!(cp.addr, b);
+        assert_eq!(cp.at.block, BlockId::new(6)); // bb7 in paper = block 6 here
+        // Hazard pairs: loads 6 (bb4) and 7 (bb5) of B are both exposed
+        // (the paper's Figure 4b shows EA = {B} at both blocks) and both
+        // conflict with store 10 — two pairs, one store.
+        assert_eq!(r.violations.len(), 2);
+        assert!(r.violations.iter().all(|v| v.store.at == cp.at));
+        // The other syntactic WARs never materialize:
+        // #: 4 loads A but A is guarded by 1 (entry store) on all paths.
+        // @: 8 loads C but C is guarded by 3 or 5 on both paths to bb6.
+        // +: 11 loads C but 12 (store C) is not reachable from bb7.
+    }
+
+    #[test]
+    fn loop_summary_reports_all_stores() {
+        let mut mb = ModuleBuilder::new("m");
+        let g = mb.global("g", 8);
+        let f = mb.function("f", 1, |f| {
+            let n = f.param(0);
+            f.for_range(Operand::ImmI(0), n.into(), |f, i| {
+                f.store(AddrExpr::indexed(encore_ir::MemBase::Global(g), i, 1, 0), i.into());
+            });
+            f.ret(None);
+        });
+        let m = mb.finish();
+        let func = m.func(f);
+        let dom = encore_analysis::DomTree::compute(func);
+        let forest = encore_analysis::LoopForest::compute(func, &dom);
+        assert_eq!(forest.loops.len(), 1);
+        let oracle = StaticAlias;
+        let az = IdempotenceAnalyzer::new(&m, &oracle);
+        let l = &forest.loops[0];
+        let summary = az.summarize_loop(f, l.header, &l.blocks);
+        assert_eq!(summary.reachable_stores.len(), 1);
+        assert!(summary.idempotent);
+    }
+}

@@ -1,0 +1,95 @@
+//! Region-overlay visualization: render a function's CFG with its Encore
+//! region partition as Graphviz clusters, colored by verdict — the
+//! reproduction's version of the paper's Figure 2 diagrams.
+
+use crate::idempotence::Verdict;
+use crate::pipeline::EncoreOutcome;
+use encore_ir::dot::{function_to_dot, DotOptions};
+use encore_ir::{FuncId, Module};
+
+/// Fill color for a region verdict (+ protection status).
+fn verdict_color(verdict: Verdict, protected: bool) -> &'static str {
+    match (verdict, protected) {
+        (Verdict::Idempotent, true) => "palegreen",
+        (Verdict::NonIdempotent { .. }, true) => "khaki",
+        (Verdict::Unknown, _) => "lightgray",
+        (_, false) => "lightcoral",
+    }
+}
+
+/// Renders function `func` of the analyzed module with its final region
+/// partition: one cluster per region, labeled with the verdict and
+/// protection decision, members colored accordingly.
+///
+/// Write the output to a `.dot` file and render with
+/// `dot -Tsvg regions.dot -o regions.svg`.
+pub fn dot_regions(module: &Module, outcome: &EncoreOutcome, func: FuncId) -> String {
+    let mut options = DotOptions { show_insts: false, ..Default::default() };
+    for (cand, selected) in &outcome.candidates {
+        if cand.spec.func != func {
+            continue;
+        }
+        let label = format!(
+            "header {} — {:?}{}",
+            cand.spec.header,
+            cand.analysis.verdict,
+            if *selected { " [protected]" } else { " [unprotected]" }
+        );
+        let members: Vec<_> = cand.spec.blocks.iter().copied().collect();
+        let color = verdict_color(cand.analysis.verdict, *selected);
+        for &b in &members {
+            options.fills.push((b, color.to_string()));
+        }
+        options.clusters.push((label, members));
+    }
+    function_to_dot(module.func(func), &options)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Encore, EncoreConfig};
+    use encore_analysis::Profile;
+    use encore_ir::{AddrExpr, BinOp, ModuleBuilder, Operand};
+
+    #[test]
+    fn overlay_mentions_every_region() {
+        let mut mb = ModuleBuilder::new("m");
+        let g = mb.global("g", 8);
+        let fid = mb.function("f", 1, |f| {
+            let n = f.param(0);
+            f.for_range(Operand::ImmI(0), n.into(), |f, i| {
+                let v = f.load(AddrExpr::indexed(encore_ir::MemBase::Global(g), i, 1, 0));
+                let v2 = f.bin(BinOp::Add, v.into(), Operand::ImmI(1));
+                f.store(AddrExpr::indexed(encore_ir::MemBase::Global(g), i, 1, 0), v2.into());
+            });
+            f.ret(None);
+        });
+        let m = mb.finish();
+        let mut profile = Profile::empty_for(&m);
+        for (b, blk) in m.func(fid).iter_blocks() {
+            profile.func_mut(fid).block_counts.insert(b, 5);
+            profile.total_dyn_insts += 5 * (blk.insts.len() + 1) as u64;
+        }
+        let outcome = Encore::new(EncoreConfig::default()).run(&m, &profile);
+        let dot = dot_regions(&m, &outcome, fid);
+        let clusters = dot.matches("subgraph cluster_").count();
+        assert_eq!(clusters, outcome.candidates.len());
+        assert!(dot.contains("header"));
+        // Every block is filled with some verdict color.
+        for b in m.func(fid).block_ids() {
+            assert!(dot.contains(&format!("{b} [label=")), "{dot}");
+        }
+    }
+
+    #[test]
+    fn colors_cover_all_verdict_cases() {
+        assert_eq!(verdict_color(Verdict::Idempotent, true), "palegreen");
+        assert_eq!(
+            verdict_color(Verdict::NonIdempotent { checkpointable: true }, true),
+            "khaki"
+        );
+        assert_eq!(verdict_color(Verdict::Unknown, false), "lightgray");
+        assert_eq!(verdict_color(Verdict::Idempotent, false), "lightcoral");
+    }
+}

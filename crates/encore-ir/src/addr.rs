@@ -1,0 +1,203 @@
+//! Symbolic memory addressing.
+//!
+//! Every `Load`/`Store` in the IR carries an [`AddrExpr`]: a symbolic
+//! *base object* plus an *offset expression*. Keeping the base object
+//! symbolic (rather than a flat integer address) is what lets the static
+//! alias analysis in `encore-analysis` give useful answers, and it mirrors
+//! how Encore's published implementation leaned on LLVM's object-based
+//! alias queries.
+//!
+//! At runtime the interpreter resolves an `AddrExpr` to a concrete
+//! `(object, cell index)` pair; memory is segmented per object and
+//! addressed in 8-byte cells.
+
+use crate::ids::{GlobalId, HeapId, Reg, SlotId};
+use std::fmt;
+
+/// The base object of a memory reference.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum MemBase {
+    /// A module-level global object.
+    Global(GlobalId),
+    /// A stack slot of the current function activation.
+    Slot(SlotId),
+    /// A symbolic heap object identified by its allocation site.
+    Heap(HeapId),
+    /// A pointer held in a register; the pointee object is unknown
+    /// statically (conservative alias analysis must assume `May`).
+    Reg(Reg),
+}
+
+impl MemBase {
+    /// Returns `true` if the base names a statically known object
+    /// (global, slot or allocation site) rather than an opaque pointer.
+    pub fn is_static(&self) -> bool {
+        !matches!(self, MemBase::Reg(_))
+    }
+}
+
+impl fmt::Display for MemBase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemBase::Global(g) => write!(f, "{g}"),
+            MemBase::Slot(s) => write!(f, "{s}"),
+            MemBase::Heap(h) => write!(f, "{h}"),
+            MemBase::Reg(r) => write!(f, "[{r}]"),
+        }
+    }
+}
+
+/// The offset part of a memory reference, in 8-byte cells.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Offset {
+    /// A compile-time constant offset.
+    Const(i64),
+    /// `reg * scale + disp` — a dynamically computed offset, e.g. an array
+    /// index. Statically only `May` alias answers are possible against
+    /// other dynamic offsets into the same object.
+    Scaled {
+        /// Register holding the index.
+        index: Reg,
+        /// Multiplier applied to the index (in cells).
+        scale: i64,
+        /// Constant displacement added after scaling (in cells).
+        disp: i64,
+    },
+}
+
+impl Offset {
+    /// A zero constant offset.
+    pub const ZERO: Offset = Offset::Const(0);
+
+    /// Returns the constant value if the offset is statically known.
+    pub fn as_const(&self) -> Option<i64> {
+        match self {
+            Offset::Const(c) => Some(*c),
+            Offset::Scaled { .. } => None,
+        }
+    }
+
+    /// Returns the register the offset depends on, if any.
+    pub fn index_reg(&self) -> Option<Reg> {
+        match self {
+            Offset::Const(_) => None,
+            Offset::Scaled { index, .. } => Some(*index),
+        }
+    }
+}
+
+impl fmt::Display for Offset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Offset::Const(c) => write!(f, "{c}"),
+            Offset::Scaled { index, scale, disp } => {
+                write!(f, "{index}*{scale}+{disp}")
+            }
+        }
+    }
+}
+
+/// A symbolic memory address: base object + offset in cells.
+///
+/// # Examples
+///
+/// ```
+/// use encore_ir::{AddrExpr, MemBase, Offset, GlobalId};
+///
+/// let a = AddrExpr::global(GlobalId::new(0), 4);
+/// assert_eq!(a.base, MemBase::Global(GlobalId::new(0)));
+/// assert_eq!(a.offset, Offset::Const(4));
+/// assert!(a.is_static());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct AddrExpr {
+    /// Base object being addressed.
+    pub base: MemBase,
+    /// Offset into the base object, in 8-byte cells.
+    pub offset: Offset,
+}
+
+impl AddrExpr {
+    /// Creates an address from base and offset.
+    pub const fn new(base: MemBase, offset: Offset) -> Self {
+        Self { base, offset }
+    }
+
+    /// Address of cell `offset` of global `g`.
+    pub const fn global(g: GlobalId, offset: i64) -> Self {
+        Self::new(MemBase::Global(g), Offset::Const(offset))
+    }
+
+    /// Address of cell `offset` of stack slot `s`.
+    pub const fn slot(s: SlotId, offset: i64) -> Self {
+        Self::new(MemBase::Slot(s), Offset::Const(offset))
+    }
+
+    /// Address of cell `offset` of heap object `h`.
+    pub const fn heap(h: HeapId, offset: i64) -> Self {
+        Self::new(MemBase::Heap(h), Offset::Const(offset))
+    }
+
+    /// Address held in pointer register `r`, displaced by `disp` cells.
+    pub const fn reg(r: Reg, disp: i64) -> Self {
+        Self::new(MemBase::Reg(r), Offset::Const(disp))
+    }
+
+    /// Indexed address: `base[index*scale + disp]`.
+    pub const fn indexed(base: MemBase, index: Reg, scale: i64, disp: i64) -> Self {
+        Self::new(base, Offset::Scaled { index, scale, disp })
+    }
+
+    /// Returns `true` when both the base object and the offset are
+    /// statically known, i.e. the address denotes a single fixed cell.
+    pub fn is_static(&self) -> bool {
+        self.base.is_static() && self.offset.as_const().is_some()
+    }
+
+    /// Registers this address expression reads when evaluated.
+    pub fn used_regs(&self) -> impl Iterator<Item = Reg> {
+        let base = match self.base {
+            MemBase::Reg(r) => Some(r),
+            _ => None,
+        };
+        base.into_iter().chain(self.offset.index_reg())
+    }
+}
+
+impl fmt::Display for AddrExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.base, self.offset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_detection() {
+        let g = AddrExpr::global(GlobalId::new(1), 3);
+        assert!(g.is_static());
+        let dynamic = AddrExpr::indexed(MemBase::Global(GlobalId::new(1)), Reg::new(0), 1, 0);
+        assert!(!dynamic.is_static());
+        let ptr = AddrExpr::reg(Reg::new(2), 0);
+        assert!(!ptr.is_static());
+    }
+
+    #[test]
+    fn used_regs() {
+        let a = AddrExpr::indexed(MemBase::Reg(Reg::new(3)), Reg::new(4), 2, 1);
+        let regs: Vec<_> = a.used_regs().collect();
+        assert_eq!(regs, vec![Reg::new(3), Reg::new(4)]);
+        let b = AddrExpr::global(GlobalId::new(0), 0);
+        assert_eq!(b.used_regs().count(), 0);
+    }
+
+    #[test]
+    fn display() {
+        let a = AddrExpr::indexed(MemBase::Global(GlobalId::new(2)), Reg::new(1), 8, 4);
+        assert_eq!(format!("{a}"), "g2[r1*8+4]");
+        let b = AddrExpr::slot(SlotId::new(0), 2);
+        assert_eq!(format!("{b}"), "s0[2]");
+    }
+}

@@ -1,0 +1,575 @@
+//! Ergonomic construction of modules and functions.
+//!
+//! Two layers are provided:
+//!
+//! * a *raw* block-level API (`add_block`, `switch_to`, explicit
+//!   terminators) for irregular CFGs — used e.g. to reconstruct the paper's
+//!   Figure 4 example exactly;
+//! * *structured* helpers (`if_else`, `while_loop`, `for_range`) that emit
+//!   reducible control flow — used by the workload suite, whose CFGs must be
+//!   reducible for interval analysis, just like `-O3` LLVM output in the
+//!   paper.
+//!
+//! # Examples
+//!
+//! ```
+//! use encore_ir::{ModuleBuilder, Operand, BinOp, AddrExpr};
+//!
+//! let mut mb = ModuleBuilder::new("demo");
+//! let g = mb.global("acc", 1);
+//! mb.function("sum_to_n", 1, |f| {
+//!     let n = f.param(0);
+//!     f.for_range(Operand::ImmI(0), n.into(), |f, i| {
+//!         let acc = f.load(AddrExpr::global(g, 0));
+//!         let next = f.bin(BinOp::Add, acc.into(), i.into());
+//!         f.store(AddrExpr::global(g, 0), next.into());
+//!     });
+//!     let r = f.load(AddrExpr::global(g, 0));
+//!     f.ret(Some(r.into()));
+//! });
+//! let module = mb.finish();
+//! assert_eq!(module.funcs.len(), 1);
+//! ```
+
+use crate::addr::AddrExpr;
+use crate::function::Function;
+use crate::ids::{BlockId, FuncId, GlobalId, HeapId, Reg, SlotId};
+use crate::inst::{BinOp, ExtEffect, Inst, Operand, Terminator, UnOp};
+use crate::module::Module;
+
+/// Builder for a [`Module`].
+#[derive(Debug)]
+pub struct ModuleBuilder {
+    module: Module,
+}
+
+impl ModuleBuilder {
+    /// Creates a builder for an empty module named `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { module: Module::new(name) }
+    }
+
+    /// Declares a zero-initialized global.
+    pub fn global(&mut self, name: impl Into<String>, cells: u32) -> GlobalId {
+        self.module.add_global(name, cells)
+    }
+
+    /// Declares a global with initial data.
+    pub fn global_init(
+        &mut self,
+        name: impl Into<String>,
+        cells: u32,
+        init: Vec<i64>,
+    ) -> GlobalId {
+        self.module.add_global_init(name, cells, init)
+    }
+
+    /// Forward-declares a function so it can be called before it is defined
+    /// (mutual recursion, call graphs built out of order).
+    pub fn declare(&mut self, name: impl Into<String>, param_count: u32) -> FuncId {
+        self.module.add_func(Function::new(name, param_count))
+    }
+
+    /// Fills in the body of a previously [`declare`](Self::declare)d
+    /// function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn define(&mut self, id: FuncId, build: impl FnOnce(&mut FunctionBuilder<'_>)) {
+        let func = std::mem::replace(
+            &mut self.module.funcs[id.index()],
+            Function::new("<defining>", 0),
+        );
+        let mut fb = FunctionBuilder {
+            module: &mut self.module,
+            func,
+            cur: Some(BlockId::new(0)),
+        };
+        build(&mut fb);
+        let func = fb.func;
+        self.module.funcs[id.index()] = func;
+    }
+
+    /// Declares and defines a function in one step.
+    pub fn function(
+        &mut self,
+        name: impl Into<String>,
+        param_count: u32,
+        build: impl FnOnce(&mut FunctionBuilder<'_>),
+    ) -> FuncId {
+        let id = self.declare(name, param_count);
+        self.define(id, build);
+        id
+    }
+
+    /// Finishes construction and returns the module.
+    pub fn finish(self) -> Module {
+        self.module
+    }
+
+    /// Read-only view of the module under construction.
+    pub fn module(&self) -> &Module {
+        &self.module
+    }
+}
+
+/// Builder for a single [`Function`], handed to the closure of
+/// [`ModuleBuilder::define`].
+///
+/// The builder tracks a *current block*. Emitting an instruction appends it
+/// there; structured helpers create and wire new blocks and leave the
+/// current block at the join point. After a `ret`, the current position is
+/// dead until [`switch_to`](Self::switch_to) is called.
+#[derive(Debug)]
+pub struct FunctionBuilder<'a> {
+    module: &'a mut Module,
+    func: Function,
+    cur: Option<BlockId>,
+}
+
+impl FunctionBuilder<'_> {
+    /// The `i`-th parameter register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= param_count`.
+    pub fn param(&self, i: u32) -> Reg {
+        assert!(i < self.func.param_count, "parameter index out of range");
+        Reg::new(i)
+    }
+
+    /// Allocates a fresh virtual register.
+    pub fn reg(&mut self) -> Reg {
+        self.func.new_reg()
+    }
+
+    /// Declares a stack slot of `cells` cells.
+    pub fn slot(&mut self, cells: u32) -> SlotId {
+        self.func.add_slot(cells)
+    }
+
+    /// Allocates a fresh heap allocation-site id (module-wide).
+    pub fn heap_site(&mut self) -> HeapId {
+        self.module.new_heap_site()
+    }
+
+    /// Creates a new empty block without switching to it.
+    pub fn add_block(&mut self) -> BlockId {
+        self.func.add_block()
+    }
+
+    /// Makes `b` the current block.
+    pub fn switch_to(&mut self, b: BlockId) {
+        self.cur = Some(b);
+    }
+
+    /// The current block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the current position is dead (after `ret`/`jump`).
+    pub fn current(&self) -> BlockId {
+        self.cur.expect("no current block: control path already terminated")
+    }
+
+    /// Appends `inst` to the current block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the current position is dead or already terminated.
+    pub fn emit(&mut self, inst: Inst) {
+        let b = self.current();
+        assert!(
+            self.func.block(b).term.is_none(),
+            "emitting into terminated block {b}"
+        );
+        self.func.block_mut(b).insts.push(inst);
+    }
+
+    // --- instruction conveniences -------------------------------------
+
+    /// `dst = op(lhs, rhs)` into a fresh register.
+    pub fn bin(&mut self, op: BinOp, lhs: Operand, rhs: Operand) -> Reg {
+        let dst = self.reg();
+        self.emit(Inst::Bin { op, dst, lhs, rhs });
+        dst
+    }
+
+    /// `dst = op(lhs, rhs)` into an existing register.
+    pub fn bin_to(&mut self, dst: Reg, op: BinOp, lhs: Operand, rhs: Operand) {
+        self.emit(Inst::Bin { op, dst, lhs, rhs });
+    }
+
+    /// `dst = op(src)` into a fresh register.
+    pub fn un(&mut self, op: UnOp, src: Operand) -> Reg {
+        let dst = self.reg();
+        self.emit(Inst::Un { op, dst, src });
+        dst
+    }
+
+    /// `dst = src` into a fresh register.
+    pub fn mov(&mut self, src: Operand) -> Reg {
+        let dst = self.reg();
+        self.emit(Inst::Mov { dst, src });
+        dst
+    }
+
+    /// `dst = src` into an existing register.
+    pub fn mov_to(&mut self, dst: Reg, src: Operand) {
+        self.emit(Inst::Mov { dst, src });
+    }
+
+    /// Loads from `addr` into a fresh register.
+    pub fn load(&mut self, addr: AddrExpr) -> Reg {
+        let dst = self.reg();
+        self.emit(Inst::Load { dst, addr });
+        dst
+    }
+
+    /// Loads from `addr` into an existing register.
+    pub fn load_to(&mut self, dst: Reg, addr: AddrExpr) {
+        self.emit(Inst::Load { dst, addr });
+    }
+
+    /// Stores `src` to `addr`.
+    pub fn store(&mut self, addr: AddrExpr, src: Operand) {
+        self.emit(Inst::Store { addr, src });
+    }
+
+    /// Materializes a pointer to `addr` in a fresh register.
+    pub fn lea(&mut self, addr: AddrExpr) -> Reg {
+        let dst = self.reg();
+        self.emit(Inst::Lea { dst, addr });
+        dst
+    }
+
+    /// Allocates a heap object of `size` cells at a fresh allocation site.
+    pub fn alloc(&mut self, size: Operand) -> Reg {
+        let site = self.heap_site();
+        let dst = self.reg();
+        self.emit(Inst::Alloc { dst, site, size });
+        dst
+    }
+
+    /// Calls internal function `callee`, returning the result register
+    /// (always allocated; ignore it for void calls).
+    pub fn call(&mut self, callee: FuncId, args: &[Operand]) -> Reg {
+        let dst = self.reg();
+        self.emit(Inst::Call { callee, dst: Some(dst), args: args.to_vec() });
+        dst
+    }
+
+    /// Calls internal function `callee`, discarding any result.
+    pub fn call_void(&mut self, callee: FuncId, args: &[Operand]) {
+        self.emit(Inst::Call { callee, dst: None, args: args.to_vec() });
+    }
+
+    /// Calls external function `name` with the given assumed effect.
+    pub fn call_ext(&mut self, name: &str, args: &[Operand], effect: ExtEffect) -> Reg {
+        let dst = self.reg();
+        self.emit(Inst::CallExt {
+            name: name.into(),
+            dst: Some(dst),
+            args: args.to_vec(),
+            effect,
+        });
+        dst
+    }
+
+    /// Calls external function `name`, discarding any result.
+    pub fn call_ext_void(&mut self, name: &str, args: &[Operand], effect: ExtEffect) {
+        self.emit(Inst::CallExt {
+            name: name.into(),
+            dst: None,
+            args: args.to_vec(),
+            effect,
+        });
+    }
+
+    // --- terminators ---------------------------------------------------
+
+    fn seal(&mut self, term: Terminator) {
+        let b = self.current();
+        assert!(
+            self.func.block(b).term.is_none(),
+            "block {b} already terminated"
+        );
+        self.func.block_mut(b).term = Some(term);
+        self.cur = None;
+    }
+
+    /// Terminates the current block with an unconditional jump and leaves
+    /// the position dead (use [`switch_to`](Self::switch_to) to continue).
+    pub fn jump(&mut self, target: BlockId) {
+        self.seal(Terminator::Jump(target));
+    }
+
+    /// Terminates the current block with a conditional branch.
+    pub fn branch(&mut self, cond: Operand, then_bb: BlockId, else_bb: BlockId) {
+        self.seal(Terminator::Branch { cond, then_bb, else_bb });
+    }
+
+    /// Terminates the current block with a return.
+    pub fn ret(&mut self, val: Option<Operand>) {
+        self.seal(Terminator::Ret(val));
+    }
+
+    // --- structured control flow ---------------------------------------
+
+    /// Emits `if cond { then } else { else }` and continues at the join.
+    pub fn if_else(
+        &mut self,
+        cond: Operand,
+        build_then: impl FnOnce(&mut Self),
+        build_else: impl FnOnce(&mut Self),
+    ) {
+        let then_bb = self.add_block();
+        let else_bb = self.add_block();
+        let join = self.add_block();
+        self.branch(cond, then_bb, else_bb);
+
+        self.switch_to(then_bb);
+        build_then(self);
+        if self.cur.is_some() {
+            self.jump(join);
+        }
+
+        self.switch_to(else_bb);
+        build_else(self);
+        if self.cur.is_some() {
+            self.jump(join);
+        }
+
+        self.switch_to(join);
+    }
+
+    /// Emits `if cond { then }` and continues at the join.
+    pub fn if_then(&mut self, cond: Operand, build_then: impl FnOnce(&mut Self)) {
+        self.if_else(cond, build_then, |_| {});
+    }
+
+    /// Emits a while loop. `build_cond` runs in the (single) loop header and
+    /// returns the continuation condition; `build_body` emits the body.
+    /// Continues at the loop exit.
+    pub fn while_loop(
+        &mut self,
+        build_cond: impl FnOnce(&mut Self) -> Operand,
+        build_body: impl FnOnce(&mut Self),
+    ) {
+        let header = self.add_block();
+        let body = self.add_block();
+        let exit = self.add_block();
+
+        self.jump(header);
+        self.switch_to(header);
+        let cond = build_cond(self);
+        self.branch(cond, body, exit);
+
+        self.switch_to(body);
+        build_body(self);
+        if self.cur.is_some() {
+            self.jump(header);
+        }
+
+        self.switch_to(exit);
+    }
+
+    /// Emits `for i in start..end { body }` where `i` is a fresh register
+    /// passed to `build_body`. Continues at the loop exit.
+    pub fn for_range(
+        &mut self,
+        start: Operand,
+        end: Operand,
+        build_body: impl FnOnce(&mut Self, Reg),
+    ) {
+        let i = self.mov(start);
+        // Copy the bound into a register so the loop header re-reads a
+        // stable register (end may itself be a register the body mutates).
+        let bound = self.mov(end);
+        self.while_loop(
+            |f| Operand::Reg(f.bin(BinOp::Lt, i.into(), bound.into())),
+            |f| {
+                build_body(f, i);
+                if f.cur.is_some() {
+                    f.bin_to(i, BinOp::Add, i.into(), Operand::ImmI(1));
+                }
+            },
+        );
+    }
+
+    /// Emits `for i in (start..end).step_by(step) { body }` where the
+    /// loop runs while `i + step <= end` — i.e. only full strides execute,
+    /// so an unrolled body may safely touch offsets `i .. i+step-1`.
+    /// Trailing elements (fewer than `step`) are skipped; callers that
+    /// need them handle the epilogue themselves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step < 1`.
+    pub fn for_range_by(
+        &mut self,
+        start: Operand,
+        end: Operand,
+        step: i64,
+        build_body: impl FnOnce(&mut Self, Reg),
+    ) {
+        assert!(step >= 1, "step must be at least 1");
+        let i = self.mov(start);
+        let end_reg = self.mov(end);
+        let bound = self.bin(BinOp::Sub, end_reg.into(), Operand::ImmI(step - 1));
+        self.while_loop(
+            |f| Operand::Reg(f.bin(BinOp::Lt, i.into(), bound.into())),
+            |f| {
+                build_body(f, i);
+                if f.cur.is_some() {
+                    f.bin_to(i, BinOp::Add, i.into(), Operand::ImmI(step));
+                }
+            },
+        );
+    }
+
+    /// Read-only view of the function under construction.
+    pub fn func(&self) -> &Function {
+        &self.func
+    }
+
+    /// Read-only view of the enclosing module (globals, declared funcs).
+    pub fn module(&self) -> &Module {
+        self.module
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::verify_module;
+
+    #[test]
+    fn straight_line_function() {
+        let mut mb = ModuleBuilder::new("m");
+        mb.function("id", 1, |f| {
+            let p = f.param(0);
+            f.ret(Some(p.into()));
+        });
+        let m = mb.finish();
+        verify_module(&m).expect("verifies");
+        assert_eq!(m.funcs[0].blocks.len(), 1);
+    }
+
+    #[test]
+    fn if_else_produces_diamond() {
+        let mut mb = ModuleBuilder::new("m");
+        mb.function("f", 1, |f| {
+            let p = f.param(0);
+            let r = f.mov(Operand::ImmI(0));
+            f.if_else(
+                p.into(),
+                |f| f.mov_to(r, Operand::ImmI(1)),
+                |f| f.mov_to(r, Operand::ImmI(2)),
+            );
+            f.ret(Some(r.into()));
+        });
+        let m = mb.finish();
+        verify_module(&m).expect("verifies");
+        // entry + then + else + join = 4 blocks
+        assert_eq!(m.funcs[0].blocks.len(), 4);
+    }
+
+    #[test]
+    fn while_loop_has_single_header() {
+        let mut mb = ModuleBuilder::new("m");
+        mb.function("f", 1, |f| {
+            let n = f.param(0);
+            let i = f.mov(Operand::ImmI(0));
+            f.while_loop(
+                |f| Operand::Reg(f.bin(BinOp::Lt, i.into(), n.into())),
+                |f| f.bin_to(i, BinOp::Add, i.into(), Operand::ImmI(1)),
+            );
+            f.ret(Some(i.into()));
+        });
+        let m = mb.finish();
+        verify_module(&m).expect("verifies");
+    }
+
+    #[test]
+    fn early_return_in_branch_arm() {
+        let mut mb = ModuleBuilder::new("m");
+        mb.function("f", 1, |f| {
+            let p = f.param(0);
+            f.if_then(p.into(), |f| f.ret(Some(Operand::ImmI(1))));
+            f.ret(Some(Operand::ImmI(0)));
+        });
+        let m = mb.finish();
+        verify_module(&m).expect("verifies");
+    }
+
+    #[test]
+    fn for_range_by_runs_full_strides_only() {
+        // Statically inspect: bound = end - (step-1); loop strides by 4.
+        let mut mb = ModuleBuilder::new("m");
+        mb.function("f", 1, |f| {
+            let n = f.param(0);
+            let count = f.mov(Operand::ImmI(0));
+            f.for_range_by(Operand::ImmI(0), n.into(), 4, |f, _i| {
+                f.bin_to(count, BinOp::Add, count.into(), Operand::ImmI(4));
+            });
+            f.ret(Some(count.into()));
+        });
+        let m = mb.finish();
+        verify_module(&m).expect("verifies");
+        // The increment instruction uses step 4.
+        let has_step4 = m.funcs[0].iter_insts().any(|(_, i)| {
+            matches!(
+                i,
+                crate::inst::Inst::Bin { op: BinOp::Add, rhs: Operand::ImmI(4), .. }
+            )
+        });
+        assert!(has_step4);
+    }
+
+    #[test]
+    #[should_panic(expected = "step must be at least 1")]
+    fn for_range_by_rejects_zero_step() {
+        let mut mb = ModuleBuilder::new("m");
+        mb.function("f", 1, |f| {
+            let n = f.param(0);
+            f.for_range_by(Operand::ImmI(0), n.into(), 0, |_, _| {});
+            f.ret(None);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "already terminated")]
+    fn double_terminator_panics() {
+        let mut mb = ModuleBuilder::new("m");
+        mb.function("f", 0, |f| {
+            let b = f.current();
+            f.ret(None);
+            f.switch_to(b);
+            f.ret(None);
+        });
+    }
+
+    #[test]
+    fn nested_loops_and_calls() {
+        let mut mb = ModuleBuilder::new("m");
+        let callee = mb.function("leaf", 1, |f| {
+            let p = f.param(0);
+            let r = f.bin(BinOp::Mul, p.into(), p.into());
+            f.ret(Some(r.into()));
+        });
+        mb.function("main", 0, |f| {
+            let acc = f.mov(Operand::ImmI(0));
+            f.for_range(Operand::ImmI(0), Operand::ImmI(10), |f, i| {
+                f.for_range(Operand::ImmI(0), i.into(), |f, j| {
+                    let v = f.call(callee, &[j.into()]);
+                    f.bin_to(acc, BinOp::Add, acc.into(), v.into());
+                });
+            });
+            f.ret(Some(acc.into()));
+        });
+        let m = mb.finish();
+        verify_module(&m).expect("verifies");
+    }
+}

@@ -1,0 +1,174 @@
+//! Graphviz (dot) export of function CFGs.
+//!
+//! `encore-core` builds on this to overlay region partitions and
+//! verdicts (see `encore_core::dot_regions`); figures like the paper's
+//! Figure 2/4 CFG diagrams can be regenerated from any module.
+
+use crate::function::Function;
+use crate::ids::BlockId;
+use crate::inst::Terminator;
+use std::fmt::Write as _;
+
+/// Options for [`function_to_dot`].
+#[derive(Clone, Debug)]
+pub struct DotOptions {
+    /// Include instruction text inside each block node (otherwise just
+    /// the block id).
+    pub show_insts: bool,
+    /// Optional cluster assignment: `(cluster label, members)` groups
+    /// rendered as subgraphs (used for region overlays).
+    pub clusters: Vec<(String, Vec<BlockId>)>,
+    /// Optional fill colors per block (X11 color names).
+    pub fills: Vec<(BlockId, String)>,
+}
+
+impl Default for DotOptions {
+    fn default() -> Self {
+        Self { show_insts: true, clusters: Vec::new(), fills: Vec::new() }
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\l")
+}
+
+/// Renders `func` as a Graphviz digraph.
+///
+/// # Examples
+///
+/// ```
+/// use encore_ir::{ModuleBuilder, Operand, dot::{function_to_dot, DotOptions}};
+///
+/// let mut mb = ModuleBuilder::new("m");
+/// mb.function("f", 1, |f| {
+///     let p = f.param(0);
+///     f.if_else(p.into(), |_| {}, |_| {});
+///     f.ret(None);
+/// });
+/// let m = mb.finish();
+/// let dot = function_to_dot(&m.funcs[0], &DotOptions::default());
+/// assert!(dot.starts_with("digraph"));
+/// assert!(dot.contains("bb0 -> bb1"));
+/// ```
+pub fn function_to_dot(func: &Function, options: &DotOptions) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", escape(&func.name));
+    let _ = writeln!(out, "  node [shape=box, fontname=\"monospace\"];");
+
+    let fill_of = |b: BlockId| -> Option<&str> {
+        options
+            .fills
+            .iter()
+            .find(|(fb, _)| *fb == b)
+            .map(|(_, c)| c.as_str())
+    };
+    let clustered: std::collections::BTreeSet<BlockId> = options
+        .clusters
+        .iter()
+        .flat_map(|(_, ms)| ms.iter().copied())
+        .collect();
+
+    let emit_node = |out: &mut String, b: BlockId, indent: &str| {
+        let block = func.block(b);
+        let mut label = format!("{b}:\\l");
+        if options.show_insts {
+            for inst in &block.insts {
+                let _ = write!(label, "  {}\\l", escape(&inst.to_string()));
+            }
+            if let Some(t) = &block.term {
+                let _ = write!(label, "  {}\\l", escape(&t.to_string()));
+            }
+        }
+        let style = match fill_of(b) {
+            Some(c) => format!(", style=filled, fillcolor=\"{c}\""),
+            None => String::new(),
+        };
+        let _ = writeln!(out, "{indent}{b} [label=\"{label}\"{style}];");
+    };
+
+    for (i, (label, members)) in options.clusters.iter().enumerate() {
+        let _ = writeln!(out, "  subgraph cluster_{i} {{");
+        let _ = writeln!(out, "    label=\"{}\";", escape(label));
+        for &b in members {
+            emit_node(&mut out, b, "    ");
+        }
+        let _ = writeln!(out, "  }}");
+    }
+    for b in func.block_ids() {
+        if !clustered.contains(&b) {
+            emit_node(&mut out, b, "  ");
+        }
+    }
+
+    for (b, block) in func.iter_blocks() {
+        match &block.term {
+            Some(Terminator::Jump(t)) => {
+                let _ = writeln!(out, "  {b} -> {t};");
+            }
+            Some(Terminator::Branch { then_bb, else_bb, .. }) => {
+                let _ = writeln!(out, "  {b} -> {then_bb} [label=\"T\"];");
+                let _ = writeln!(out, "  {b} -> {else_bb} [label=\"F\"];");
+            }
+            _ => {}
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::inst::Operand;
+
+    fn sample() -> crate::module::Module {
+        let mut mb = ModuleBuilder::new("m");
+        mb.function("f", 1, |f| {
+            let p = f.param(0);
+            f.if_else(p.into(), |_| {}, |_| {});
+            f.ret(Some(Operand::ImmI(0)));
+        });
+        mb.finish()
+    }
+
+    #[test]
+    fn renders_nodes_and_edges() {
+        let m = sample();
+        let dot = function_to_dot(&m.funcs[0], &DotOptions::default());
+        assert!(dot.contains("digraph \"f\""));
+        for b in 0..4 {
+            assert!(dot.contains(&format!("bb{b} [label=")), "{dot}");
+        }
+        assert!(dot.contains("bb0 -> bb1 [label=\"T\"]"));
+        assert!(dot.contains("bb0 -> bb2 [label=\"F\"]"));
+        assert!(dot.contains("bb1 -> bb3"));
+    }
+
+    #[test]
+    fn clusters_and_fills() {
+        let m = sample();
+        let options = DotOptions {
+            show_insts: false,
+            clusters: vec![("region0".into(), vec![BlockId::new(0), BlockId::new(1)])],
+            fills: vec![(BlockId::new(2), "lightcoral".into())],
+        };
+        let dot = function_to_dot(&m.funcs[0], &options);
+        assert!(dot.contains("subgraph cluster_0"));
+        assert!(dot.contains("label=\"region0\""));
+        assert!(dot.contains("fillcolor=\"lightcoral\""));
+    }
+
+    #[test]
+    fn labels_escape_quotes() {
+        let mut mb = ModuleBuilder::new("m");
+        mb.function("f", 0, |f| {
+            f.call_ext_void("print_i64", &[Operand::ImmI(1)], crate::inst::ExtEffect::Opaque);
+            f.ret(None);
+        });
+        let m = mb.finish();
+        let dot = function_to_dot(&m.funcs[0], &DotOptions::default());
+        // The callext's quoted name must be escaped inside the label.
+        assert!(dot.contains("callext \\\"print_i64\\\""), "{dot}");
+    }
+}

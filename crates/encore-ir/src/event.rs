@@ -1,0 +1,106 @@
+//! Dynamic memory-event records shared between the simulator (producer)
+//! and the trace-idempotence analysis (consumer, in `encore-core`).
+//!
+//! A [`MemEvent`] names a *concrete* memory cell — object plus cell index —
+//! unlike the symbolic [`crate::AddrExpr`] used statically. The simulator
+//! resolves addresses while executing and emits one event per dynamic load
+//! and store; Figure 1 of the paper is computed over windows of these
+//! events.
+
+use std::fmt;
+
+/// Identity of a concrete runtime memory object.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum ObjKind {
+    /// Global number `n`.
+    Global(u32),
+    /// Stack slot `slot` of activation `frame` (frames numbered by call
+    /// order so recursive activations stay distinct).
+    Slot {
+        /// Activation number.
+        frame: u32,
+        /// Slot index within the frame.
+        slot: u32,
+    },
+    /// Heap object number `n` (allocation order).
+    Heap(u32),
+}
+
+impl fmt::Display for ObjKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObjKind::Global(n) => write!(f, "g{n}"),
+            ObjKind::Slot { frame, slot } => write!(f, "f{frame}.s{slot}"),
+            ObjKind::Heap(n) => write!(f, "h{n}"),
+        }
+    }
+}
+
+/// A concrete memory cell: object + cell index.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Cell {
+    /// Object containing the cell.
+    pub obj: ObjKind,
+    /// Cell index within the object.
+    pub index: u64,
+}
+
+impl fmt::Display for Cell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.obj, self.index)
+    }
+}
+
+/// Kind of dynamic memory access.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AccessKind {
+    /// A load.
+    Load,
+    /// A store.
+    Store,
+}
+
+/// One dynamic memory access.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MemEvent {
+    /// Load or store.
+    pub kind: AccessKind,
+    /// The concrete cell accessed.
+    pub cell: Cell,
+    /// Dynamic instruction index at which the access happened.
+    pub at: u64,
+}
+
+impl MemEvent {
+    /// Convenience constructor for a load event.
+    pub fn load(cell: Cell, at: u64) -> Self {
+        Self { kind: AccessKind::Load, cell, at }
+    }
+
+    /// Convenience constructor for a store event.
+    pub fn store(cell: Cell, at: u64) -> Self {
+        Self { kind: AccessKind::Store, cell, at }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cells_compare_and_display() {
+        let a = Cell { obj: ObjKind::Global(0), index: 3 };
+        let b = Cell { obj: ObjKind::Heap(0), index: 3 };
+        assert_ne!(a, b);
+        assert_eq!(format!("{a}"), "g0[3]");
+        let s = Cell { obj: ObjKind::Slot { frame: 2, slot: 1 }, index: 0 };
+        assert_eq!(format!("{s}"), "f2.s1[0]");
+    }
+
+    #[test]
+    fn event_constructors() {
+        let c = Cell { obj: ObjKind::Global(1), index: 0 };
+        assert_eq!(MemEvent::load(c, 5).kind, AccessKind::Load);
+        assert_eq!(MemEvent::store(c, 6).kind, AccessKind::Store);
+    }
+}

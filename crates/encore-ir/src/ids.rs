@@ -1,0 +1,157 @@
+//! Strongly-typed identifiers for IR entities.
+//!
+//! Every entity in the IR (virtual registers, basic blocks, functions,
+//! globals, stack slots, heap allocation sites, Encore regions) is referred
+//! to by a small-integer id wrapped in a dedicated newtype, per the
+//! "newtypes provide static distinctions" guideline. Ids are dense and
+//! allocated by the owning container ([`crate::Function`] or
+//! [`crate::Module`]), so they double as vector indices.
+
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$meta:meta])* $name:ident, $prefix:expr) => {
+        $(#[$meta])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Creates an id from a raw index.
+            ///
+            /// Ids are normally allocated by the owning container; this
+            /// constructor exists for tests, parsers and dense-map keys.
+            #[inline]
+            pub const fn new(raw: u32) -> Self {
+                Self(raw)
+            }
+
+            /// Returns the raw index backing this id.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Returns the raw `u32` backing this id.
+            #[inline]
+            pub const fn raw(self) -> u32 {
+                self.0
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<$name> for usize {
+            fn from(id: $name) -> usize {
+                id.index()
+            }
+        }
+    };
+}
+
+define_id! {
+    /// A virtual register local to a [`crate::Function`].
+    ///
+    /// The IR is *not* in SSA form: registers are mutable storage cells,
+    /// which keeps re-execution semantics (the heart of Encore's rollback
+    /// recovery) straightforward. Register `r0`, `r1`, ... are allocated by
+    /// [`crate::FunctionBuilder::reg`].
+    Reg, "r"
+}
+
+define_id! {
+    /// A basic block within a [`crate::Function`].
+    BlockId, "bb"
+}
+
+define_id! {
+    /// A function within a [`crate::Module`].
+    FuncId, "fn"
+}
+
+define_id! {
+    /// A global memory object declared on a [`crate::Module`].
+    GlobalId, "g"
+}
+
+define_id! {
+    /// A stack slot local to a [`crate::Function`] activation.
+    SlotId, "s"
+}
+
+define_id! {
+    /// A symbolic heap allocation site (one per `Alloc` instruction).
+    ///
+    /// All dynamic allocations performed by a given `Alloc` site share this
+    /// id for the purpose of static alias analysis, mirroring allocation-site
+    /// based points-to abstractions.
+    HeapId, "h"
+}
+
+define_id! {
+    /// An Encore recovery region, assigned during instrumentation.
+    RegionId, "region"
+}
+
+/// A position of an instruction inside a function: block + index within it.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct InstRef {
+    /// Block containing the instruction.
+    pub block: BlockId,
+    /// Index of the instruction within the block body (terminator excluded).
+    pub index: usize,
+}
+
+impl InstRef {
+    /// Creates a reference to instruction `index` of `block`.
+    pub const fn new(block: BlockId, index: usize) -> Self {
+        Self { block, index }
+    }
+}
+
+impl fmt::Display for InstRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.block, self.index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_roundtrip() {
+        let r = Reg::new(7);
+        assert_eq!(r.index(), 7);
+        assert_eq!(r.raw(), 7);
+        assert_eq!(usize::from(r), 7);
+        assert_eq!(format!("{r}"), "r7");
+        assert_eq!(format!("{r:?}"), "r7");
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(BlockId::new(1));
+        set.insert(BlockId::new(1));
+        set.insert(BlockId::new(2));
+        assert_eq!(set.len(), 2);
+        assert!(BlockId::new(1) < BlockId::new(2));
+    }
+
+    #[test]
+    fn inst_ref_display() {
+        let i = InstRef::new(BlockId::new(3), 4);
+        assert_eq!(format!("{i}"), "bb3:4");
+    }
+}

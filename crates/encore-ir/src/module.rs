@@ -1,0 +1,161 @@
+//! Modules: collections of functions plus global memory declarations.
+
+use crate::function::Function;
+use crate::ids::{FuncId, GlobalId, HeapId};
+
+/// A global memory object declaration.
+#[derive(Clone, PartialEq, Debug)]
+pub struct GlobalDecl {
+    /// Name for printing.
+    pub name: String,
+    /// Size in 8-byte cells.
+    pub cells: u32,
+    /// Initial integer values (zero-extended to `cells`).
+    pub init: Vec<i64>,
+}
+
+/// A compilation unit: functions + globals.
+///
+/// # Examples
+///
+/// ```
+/// use encore_ir::Module;
+///
+/// let mut m = Module::new("demo");
+/// let g = m.add_global("data", 16);
+/// assert_eq!(m.global(g).cells, 16);
+/// ```
+#[derive(Clone, PartialEq, Debug)]
+pub struct Module {
+    /// Module name.
+    pub name: String,
+    /// Functions indexed by [`FuncId`].
+    pub funcs: Vec<Function>,
+    /// Globals indexed by [`GlobalId`].
+    pub globals: Vec<GlobalDecl>,
+    /// Number of heap allocation sites handed out so far.
+    pub heap_sites: u32,
+}
+
+impl Module {
+    /// Creates an empty module.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            funcs: Vec::new(),
+            globals: Vec::new(),
+            heap_sites: 0,
+        }
+    }
+
+    /// Adds a function, returning its id.
+    pub fn add_func(&mut self, func: Function) -> FuncId {
+        let id = FuncId::new(self.funcs.len() as u32);
+        self.funcs.push(func);
+        id
+    }
+
+    /// Declares a zero-initialized global of `cells` cells.
+    pub fn add_global(&mut self, name: impl Into<String>, cells: u32) -> GlobalId {
+        self.add_global_init(name, cells, Vec::new())
+    }
+
+    /// Declares a global with explicit initial values.
+    pub fn add_global_init(
+        &mut self,
+        name: impl Into<String>,
+        cells: u32,
+        init: Vec<i64>,
+    ) -> GlobalId {
+        let id = GlobalId::new(self.globals.len() as u32);
+        self.globals.push(GlobalDecl { name: name.into(), cells, init });
+        id
+    }
+
+    /// Allocates a fresh heap allocation-site id.
+    pub fn new_heap_site(&mut self) -> HeapId {
+        let id = HeapId::new(self.heap_sites);
+        self.heap_sites += 1;
+        id
+    }
+
+    /// Shorthand for `&self.funcs[f.index()]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is out of range.
+    pub fn func(&self, f: FuncId) -> &Function {
+        &self.funcs[f.index()]
+    }
+
+    /// Mutable shorthand for `&mut self.funcs[f.index()]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is out of range.
+    pub fn func_mut(&mut self, f: FuncId) -> &mut Function {
+        &mut self.funcs[f.index()]
+    }
+
+    /// Shorthand for `&self.globals[g.index()]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is out of range.
+    pub fn global(&self, g: GlobalId) -> &GlobalDecl {
+        &self.globals[g.index()]
+    }
+
+    /// Finds a function by name.
+    pub fn func_by_name(&self, name: &str) -> Option<FuncId> {
+        self.funcs
+            .iter()
+            .position(|f| f.name == name)
+            .map(|i| FuncId::new(i as u32))
+    }
+
+    /// Iterates over `(FuncId, &Function)` in id order.
+    pub fn iter_funcs(&self) -> impl Iterator<Item = (FuncId, &Function)> {
+        self.funcs
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (FuncId::new(i as u32), f))
+    }
+
+    /// Total static instruction count across all functions.
+    pub fn static_inst_count(&self) -> usize {
+        self.funcs.iter().map(Function::static_inst_count).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_by_name() {
+        let mut m = Module::new("m");
+        m.add_func(Function::new("alpha", 0));
+        let beta = m.add_func(Function::new("beta", 1));
+        assert_eq!(m.func_by_name("beta"), Some(beta));
+        assert_eq!(m.func_by_name("gamma"), None);
+        assert_eq!(m.func(beta).param_count, 1);
+    }
+
+    #[test]
+    fn heap_sites_are_unique() {
+        let mut m = Module::new("m");
+        let a = m.new_heap_site();
+        let b = m.new_heap_site();
+        assert_ne!(a, b);
+        assert_eq!(m.heap_sites, 2);
+    }
+
+    #[test]
+    fn global_init_is_stored() {
+        let mut m = Module::new("m");
+        let g = m.add_global_init("tbl", 4, vec![1, 2]);
+        assert_eq!(m.global(g).init, vec![1, 2]);
+        assert_eq!(m.global(g).cells, 4);
+    }
+}

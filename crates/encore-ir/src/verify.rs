@@ -1,0 +1,248 @@
+//! Structural verification of modules.
+//!
+//! The verifier catches malformed IR early: unterminated blocks, dangling
+//! block/register/slot/global/function references, arity mismatches on
+//! calls. All analyses and the simulator assume a verified module.
+
+use crate::addr::{AddrExpr, MemBase, Offset};
+use crate::function::Function;
+use crate::ids::{BlockId, FuncId, Reg};
+use crate::inst::{Inst, Operand, Terminator};
+use crate::module::Module;
+use std::error::Error;
+use std::fmt;
+
+/// An IR structural error found by [`verify_module`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct VerifyError {
+    /// Function where the error occurred (name for readability).
+    pub func: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "in function `{}`: {}", self.func, self.message)
+    }
+}
+
+impl Error for VerifyError {}
+
+struct Checker<'m> {
+    module: &'m Module,
+    func: &'m Function,
+    errors: Vec<VerifyError>,
+}
+
+impl Checker<'_> {
+    fn err(&mut self, message: String) {
+        self.errors.push(VerifyError { func: self.func.name.clone(), message });
+    }
+
+    fn check_reg(&mut self, r: Reg, what: &str) {
+        if r.raw() >= self.func.reg_count {
+            self.err(format!("{what} references undeclared register {r}"));
+        }
+    }
+
+    fn check_addr(&mut self, a: &AddrExpr, what: &str) {
+        match a.base {
+            MemBase::Global(g) => {
+                if g.index() >= self.module.globals.len() {
+                    self.err(format!("{what} references undeclared global {g}"));
+                }
+            }
+            MemBase::Slot(s) => {
+                if s.index() >= self.func.slots.len() {
+                    self.err(format!("{what} references undeclared slot {s}"));
+                }
+            }
+            MemBase::Heap(h) => {
+                if h.raw() >= self.module.heap_sites {
+                    self.err(format!("{what} references undeclared heap site {h}"));
+                }
+            }
+            MemBase::Reg(r) => self.check_reg(r, what),
+        }
+        if let Offset::Scaled { index, .. } = a.offset {
+            self.check_reg(index, what);
+        }
+    }
+
+    fn check_block_ref(&mut self, b: BlockId, what: &str) {
+        if b.index() >= self.func.blocks.len() {
+            self.err(format!("{what} targets nonexistent block {b}"));
+        }
+    }
+
+    fn check_call(&mut self, callee: FuncId, args: &[Operand], at: &str) {
+        if callee.index() >= self.module.funcs.len() {
+            self.err(format!("{at} calls nonexistent function {callee}"));
+            return;
+        }
+        let target = &self.module.funcs[callee.index()];
+        if args.len() != target.param_count as usize {
+            self.err(format!(
+                "{at} calls `{}` with {} args, expected {}",
+                target.name,
+                args.len(),
+                target.param_count
+            ));
+        }
+    }
+
+    fn check_function(&mut self) {
+        if self.func.blocks.is_empty() {
+            self.err("function has no blocks".to_string());
+            return;
+        }
+        if self.func.param_count > self.func.reg_count {
+            self.err(format!(
+                "param_count {} exceeds reg_count {}",
+                self.func.param_count, self.func.reg_count
+            ));
+        }
+        for (bid, block) in self.func.iter_blocks() {
+            for (i, inst) in block.insts.iter().enumerate() {
+                let at = format!("{bid}:{i}");
+                if let Some(d) = inst.def() {
+                    self.check_reg(d, &at);
+                }
+                for u in inst.uses() {
+                    self.check_reg(u, &at);
+                }
+                match inst {
+                    Inst::Load { addr, .. }
+                    | Inst::Store { addr, .. }
+                    | Inst::Lea { addr, .. }
+                    | Inst::CheckpointMem { addr } => self.check_addr(addr, &at),
+                    Inst::Alloc { site, .. } if site.raw() >= self.module.heap_sites => {
+                        self.err(format!("{at} uses undeclared heap site {site}"));
+                    }
+                    Inst::Call { callee, args, .. } => self.check_call(*callee, args, &at),
+                    _ => {}
+                }
+            }
+            match &block.term {
+                None => self.err(format!("block {bid} has no terminator")),
+                Some(t) => {
+                    for u in t.uses() {
+                        self.check_reg(u, &format!("{bid} terminator"));
+                    }
+                    match t {
+                        Terminator::Jump(b) => self.check_block_ref(*b, &format!("{bid} jump")),
+                        Terminator::Branch { then_bb, else_bb, .. } => {
+                            self.check_block_ref(*then_bb, &format!("{bid} branch"));
+                            self.check_block_ref(*else_bb, &format!("{bid} branch"));
+                        }
+                        Terminator::Ret(_) => {}
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Verifies the structural integrity of every function in `module`.
+///
+/// # Errors
+///
+/// Returns all problems found (not just the first) as a vector of
+/// [`VerifyError`].
+pub fn verify_module(module: &Module) -> Result<(), Vec<VerifyError>> {
+    let mut errors = Vec::new();
+    for func in &module.funcs {
+        let mut checker = Checker { module, func, errors: Vec::new() };
+        checker.check_function();
+        errors.extend(checker.errors);
+    }
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::ids::GlobalId;
+
+    fn valid_module() -> Module {
+        let mut mb = ModuleBuilder::new("m");
+        let g = mb.global("g", 4);
+        mb.function("f", 1, |f| {
+            let p = f.param(0);
+            f.store(AddrExpr::global(g, 0), p.into());
+            f.ret(None);
+        });
+        mb.finish()
+    }
+
+    #[test]
+    fn valid_module_verifies() {
+        assert!(verify_module(&valid_module()).is_ok());
+    }
+
+    #[test]
+    fn unterminated_block_rejected() {
+        let mut m = valid_module();
+        m.funcs[0].blocks[0].term = None;
+        let errs = verify_module(&m).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("no terminator")));
+    }
+
+    #[test]
+    fn dangling_register_rejected() {
+        let mut m = valid_module();
+        m.funcs[0].blocks[0].insts.push(Inst::Mov {
+            dst: Reg::new(99),
+            src: Operand::ImmI(0),
+        });
+        m.funcs[0].blocks[0].term = Some(Terminator::Ret(None));
+        let errs = verify_module(&m).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("undeclared register")));
+    }
+
+    #[test]
+    fn dangling_global_rejected() {
+        let mut m = valid_module();
+        m.funcs[0].blocks[0]
+            .insts
+            .push(Inst::Store { addr: AddrExpr::global(GlobalId::new(7), 0), src: Operand::ImmI(0) });
+        let errs = verify_module(&m).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("undeclared global")));
+    }
+
+    #[test]
+    fn dangling_branch_target_rejected() {
+        let mut m = valid_module();
+        m.funcs[0].blocks[0].term = Some(Terminator::Jump(BlockId::new(42)));
+        let errs = verify_module(&m).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("nonexistent block")));
+    }
+
+    #[test]
+    fn call_arity_mismatch_rejected() {
+        let mut mb = ModuleBuilder::new("m");
+        let callee = mb.function("leaf", 2, |f| f.ret(None));
+        mb.function("main", 0, |f| {
+            f.call_void(callee, &[Operand::ImmI(1)]);
+            f.ret(None);
+        });
+        let m = mb.finish();
+        let errs = verify_module(&m).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("expected 2")));
+    }
+
+    #[test]
+    fn error_display_mentions_function() {
+        let mut m = valid_module();
+        m.funcs[0].blocks[0].term = None;
+        let errs = verify_module(&m).unwrap_err();
+        let msg = errs[0].to_string();
+        assert!(msg.contains("`f`"), "message was: {msg}");
+    }
+}

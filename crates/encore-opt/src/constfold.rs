@@ -1,0 +1,285 @@
+//! Block-local constant propagation and folding.
+//!
+//! Tracks a register → constant map through each basic block (no SSA, so
+//! facts never cross block boundaries), replaces constant register
+//! operands with immediates, folds fully-constant `Bin`/`Un` into `Mov`,
+//! and rewrites branches whose condition is known into jumps.
+
+use crate::Pass;
+use encore_ir::{BinOp, Function, Inst, Operand, Terminator, UnOp};
+use std::collections::HashMap;
+
+/// Constant value lattice entry.
+#[derive(Clone, Copy, PartialEq, Debug)]
+enum Const {
+    Int(i64),
+    Float(f64),
+}
+
+fn op_const(consts: &HashMap<u32, Const>, op: &Operand) -> Option<Const> {
+    match op {
+        Operand::ImmI(v) => Some(Const::Int(*v)),
+        Operand::ImmF(v) => Some(Const::Float(*v)),
+        Operand::Reg(r) => consts.get(&r.raw()).copied(),
+    }
+}
+
+fn to_operand(c: Const) -> Operand {
+    match c {
+        Const::Int(v) => Operand::ImmI(v),
+        Const::Float(v) => Operand::ImmF(v),
+    }
+}
+
+/// Folds an integer binary op; `None` when the combination is not a
+/// compile-time-safe integer fold.
+fn fold_bin(op: BinOp, a: Const, b: Const) -> Option<Const> {
+    use BinOp::*;
+    let (x, y) = match (a, b) {
+        (Const::Int(x), Const::Int(y)) => (x, y),
+        (Const::Float(x), Const::Float(y)) => {
+            return Some(match op {
+                FAdd => Const::Float(x + y),
+                FSub => Const::Float(x - y),
+                FMul => Const::Float(x * y),
+                FDiv => Const::Float(if y == 0.0 { 0.0 } else { x / y }),
+                FLt => Const::Int((x < y) as i64),
+                FLe => Const::Int((x <= y) as i64),
+                _ => return None,
+            })
+        }
+        _ => return None,
+    };
+    Some(Const::Int(match op {
+        Add => x.wrapping_add(y),
+        Sub => x.wrapping_sub(y),
+        Mul => x.wrapping_mul(y),
+        Div => {
+            if y == 0 {
+                0
+            } else {
+                x.wrapping_div(y)
+            }
+        }
+        Rem => {
+            if y == 0 {
+                0
+            } else {
+                x.wrapping_rem(y)
+            }
+        }
+        And => x & y,
+        Or => x | y,
+        Xor => x ^ y,
+        Shl => x.wrapping_shl(y as u32 & 63),
+        Shr => x.wrapping_shr(y as u32 & 63),
+        Min => x.min(y),
+        Max => x.max(y),
+        Eq => (x == y) as i64,
+        Ne => (x != y) as i64,
+        Lt => (x < y) as i64,
+        Le => (x <= y) as i64,
+        _ => return None,
+    }))
+}
+
+fn fold_un(op: UnOp, a: Const) -> Option<Const> {
+    use UnOp::*;
+    Some(match (op, a) {
+        (Neg, Const::Int(x)) => Const::Int(x.wrapping_neg()),
+        (Not, Const::Int(x)) => Const::Int(!x),
+        (Abs, Const::Int(x)) => Const::Int(x.wrapping_abs()),
+        (IToF, Const::Int(x)) => Const::Float(x as f64),
+        (FNeg, Const::Float(x)) => Const::Float(-x),
+        (FSqrt, Const::Float(x)) => Const::Float(x.abs().sqrt()),
+        (FToI, Const::Float(x)) => Const::Int(if x.is_nan() {
+            0
+        } else {
+            x.clamp(i64::MIN as f64, i64::MAX as f64) as i64
+        }),
+        _ => return None,
+    })
+}
+
+/// The constant-folding pass.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct ConstFold;
+
+impl Pass for ConstFold {
+    fn name(&self) -> &'static str {
+        "constfold"
+    }
+
+    fn run(&self, func: &mut Function) -> bool {
+        let mut changed = false;
+        for block in &mut func.blocks {
+            let mut consts: HashMap<u32, Const> = HashMap::new();
+            for inst in &mut block.insts {
+                // Replace known-constant register operands with
+                // immediates (except address registers, which must stay
+                // registers syntactically).
+                let subst = |op: &mut Operand, consts: &HashMap<u32, Const>, changed: &mut bool| {
+                    if let Operand::Reg(r) = op {
+                        if let Some(c) = consts.get(&r.raw()) {
+                            *op = to_operand(*c);
+                            *changed = true;
+                        }
+                    }
+                };
+                match inst {
+                    Inst::Bin { lhs, rhs, .. } => {
+                        subst(lhs, &consts, &mut changed);
+                        subst(rhs, &consts, &mut changed);
+                    }
+                    Inst::Un { src, .. } | Inst::Mov { src, .. } => {
+                        subst(src, &consts, &mut changed)
+                    }
+                    Inst::Store { src, .. } => subst(src, &consts, &mut changed),
+                    Inst::Alloc { size, .. } => subst(size, &consts, &mut changed),
+                    Inst::Call { args, .. } | Inst::CallExt { args, .. } => {
+                        for a in args {
+                            subst(a, &consts, &mut changed);
+                        }
+                    }
+                    _ => {}
+                }
+                // Fold and update the lattice.
+                let mut folded: Option<(encore_ir::Reg, Const)> = None;
+                match inst {
+                    Inst::Bin { op, dst, lhs, rhs } => {
+                        if let (Some(a), Some(b)) = (op_const(&consts, lhs), op_const(&consts, rhs))
+                        {
+                            if let Some(c) = fold_bin(*op, a, b) {
+                                folded = Some((*dst, c));
+                            }
+                        }
+                    }
+                    Inst::Un { op, dst, src } => {
+                        if let Some(a) = op_const(&consts, src) {
+                            if let Some(c) = fold_un(*op, a) {
+                                folded = Some((*dst, c));
+                            }
+                        }
+                    }
+                    Inst::Mov { dst, src } => {
+                        if let Some(c) = op_const(&consts, src) {
+                            folded = Some((*dst, c));
+                        }
+                    }
+                    _ => {}
+                }
+                if let Some((dst, c)) = folded {
+                    if !matches!(inst, Inst::Mov { src, .. } if op_const(&consts, src).is_some()) {
+                        *inst = Inst::Mov { dst, src: to_operand(c) };
+                        changed = true;
+                    }
+                    consts.insert(dst.raw(), c);
+                } else if let Some(d) = inst.def() {
+                    consts.remove(&d.raw());
+                }
+            }
+            // Branch on a known condition becomes a jump.
+            if let Some(Terminator::Branch { cond, then_bb, else_bb }) = &mut block.term {
+                if let Some(c) = op_const(&consts, cond) {
+                    let truthy = match c {
+                        Const::Int(v) => v != 0,
+                        Const::Float(v) => v != 0.0,
+                    };
+                    let target = if truthy { *then_bb } else { *else_bb };
+                    block.term = Some(Terminator::Jump(target));
+                    changed = true;
+                }
+            }
+        }
+        changed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use encore_ir::{ModuleBuilder, Operand};
+
+    #[test]
+    fn folds_constant_arithmetic() {
+        let mut mb = ModuleBuilder::new("m");
+        mb.function("f", 0, |f| {
+            let a = f.mov(Operand::ImmI(6));
+            let b = f.bin(BinOp::Mul, a.into(), Operand::ImmI(7));
+            f.ret(Some(b.into()));
+        });
+        let mut m = mb.finish();
+        assert!(ConstFold.run(&mut m.funcs[0]));
+        // The multiply became `mov 42`.
+        let has_mov42 = m.funcs[0].blocks[0]
+            .insts
+            .iter()
+            .any(|i| matches!(i, Inst::Mov { src: Operand::ImmI(42), .. }));
+        assert!(has_mov42, "{}", m.funcs[0]);
+    }
+
+    #[test]
+    fn folds_constant_branch_to_jump() {
+        let mut mb = ModuleBuilder::new("m");
+        mb.function("f", 0, |f| {
+            f.if_else(Operand::ImmI(1), |_| {}, |_| {});
+            f.ret(None);
+        });
+        let mut m = mb.finish();
+        assert!(ConstFold.run(&mut m.funcs[0]));
+        assert!(matches!(
+            m.funcs[0].blocks[0].term,
+            Some(Terminator::Jump(b)) if b == encore_ir::BlockId::new(1)
+        ));
+    }
+
+    #[test]
+    fn facts_do_not_cross_redefinition() {
+        let mut mb = ModuleBuilder::new("m");
+        let g = mb.global("g", 1);
+        mb.function("f", 0, |f| {
+            let a = f.mov(Operand::ImmI(1));
+            f.load_to(a, encore_ir::AddrExpr::global(g, 0)); // a no longer const
+            let b = f.bin(BinOp::Add, a.into(), Operand::ImmI(1));
+            f.ret(Some(b.into()));
+        });
+        let mut m = mb.finish();
+        ConstFold.run(&mut m.funcs[0]);
+        // The add must NOT be folded (a was clobbered by the load).
+        let adds: usize = m.funcs[0].blocks[0]
+            .insts
+            .iter()
+            .filter(|i| matches!(i, Inst::Bin { op: BinOp::Add, .. }))
+            .count();
+        assert_eq!(adds, 1);
+    }
+
+    #[test]
+    fn float_folding() {
+        let mut mb = ModuleBuilder::new("m");
+        mb.function("f", 0, |f| {
+            let a = f.mov(Operand::ImmF(2.0));
+            let b = f.bin(BinOp::FMul, a.into(), Operand::ImmF(4.0));
+            f.ret(Some(b.into()));
+        });
+        let mut m = mb.finish();
+        assert!(ConstFold.run(&mut m.funcs[0]));
+        assert!(m.funcs[0].blocks[0]
+            .insts
+            .iter()
+            .any(|i| matches!(i, Inst::Mov { src: Operand::ImmF(v), .. } if *v == 8.0)));
+    }
+
+    #[test]
+    fn idempotent_when_nothing_to_fold() {
+        let mut mb = ModuleBuilder::new("m");
+        mb.function("f", 2, |f| {
+            let a = f.param(0);
+            let b = f.param(1);
+            let s = f.bin(BinOp::Add, a.into(), b.into());
+            f.ret(Some(s.into()));
+        });
+        let mut m = mb.finish();
+        assert!(!ConstFold.run(&mut m.funcs[0]));
+    }
+}

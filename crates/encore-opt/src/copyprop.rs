@@ -1,0 +1,158 @@
+//! Block-local copy propagation.
+//!
+//! After `dst = mov srcreg`, later uses of `dst` within the block are
+//! rewritten to `srcreg` until either register is redefined. This
+//! shortens dependence chains and exposes more dead `mov`s to DCE.
+
+use crate::Pass;
+use encore_ir::{Function, Inst, Operand, Reg};
+use std::collections::HashMap;
+
+/// The copy-propagation pass.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct CopyProp;
+
+impl Pass for CopyProp {
+    fn name(&self) -> &'static str {
+        "copyprop"
+    }
+
+    fn run(&self, func: &mut Function) -> bool {
+        let mut changed = false;
+        for block in &mut func.blocks {
+            // copy_of[d] = s means d currently holds the same value as s.
+            let mut copy_of: HashMap<u32, Reg> = HashMap::new();
+            let kill = |copy_of: &mut HashMap<u32, Reg>, r: Reg| {
+                copy_of.remove(&r.raw());
+                copy_of.retain(|_, src| *src != r);
+            };
+            for inst in &mut block.insts {
+                // Rewrite register operands through the copy map.
+                let subst = |op: &mut Operand, copy_of: &HashMap<u32, Reg>, changed: &mut bool| {
+                    if let Operand::Reg(r) = op {
+                        if let Some(s) = copy_of.get(&r.raw()) {
+                            *op = Operand::Reg(*s);
+                            *changed = true;
+                        }
+                    }
+                };
+                match inst {
+                    Inst::Bin { lhs, rhs, .. } => {
+                        subst(lhs, &copy_of, &mut changed);
+                        subst(rhs, &copy_of, &mut changed);
+                    }
+                    Inst::Un { src, .. } | Inst::Mov { src, .. } => {
+                        subst(src, &copy_of, &mut changed)
+                    }
+                    Inst::Store { src, .. } => subst(src, &copy_of, &mut changed),
+                    Inst::Alloc { size, .. } => subst(size, &copy_of, &mut changed),
+                    Inst::Call { args, .. } | Inst::CallExt { args, .. } => {
+                        for a in args {
+                            subst(a, &copy_of, &mut changed);
+                        }
+                    }
+                    _ => {}
+                }
+                // Note: address expressions embed `Reg`s directly (not
+                // `Operand`s); rewriting them is possible but risks
+                // extending live ranges across checkpoint sites, so we
+                // leave addresses untouched.
+                match inst {
+                    Inst::Mov { dst, src: Operand::Reg(s) } if dst != s => {
+                        let (d, s) = (*dst, *s);
+                        kill(&mut copy_of, d);
+                        copy_of.insert(d.raw(), s);
+                    }
+                    _ => {
+                        if let Some(d) = inst.def() {
+                            kill(&mut copy_of, d);
+                        }
+                    }
+                }
+            }
+            // Terminator operands.
+            if let Some(t) = &mut block.term {
+                match t {
+                    encore_ir::Terminator::Branch { cond, .. } => {
+                        if let Operand::Reg(r) = cond {
+                            if let Some(s) = copy_of.get(&r.raw()) {
+                                *cond = Operand::Reg(*s);
+                                changed = true;
+                            }
+                        }
+                    }
+                    encore_ir::Terminator::Ret(Some(op)) => {
+                        if let Operand::Reg(r) = op {
+                            if let Some(s) = copy_of.get(&r.raw()) {
+                                *op = Operand::Reg(*s);
+                                changed = true;
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        changed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use encore_ir::{BinOp, ModuleBuilder};
+
+    #[test]
+    fn propagates_through_copies() {
+        let mut mb = ModuleBuilder::new("m");
+        mb.function("f", 1, |f| {
+            let p = f.param(0);
+            let c = f.mov(p.into()); // c = p
+            let s = f.bin(BinOp::Add, c.into(), c.into());
+            f.ret(Some(s.into()));
+        });
+        let mut m = mb.finish();
+        assert!(CopyProp.run(&mut m.funcs[0]));
+        // The add now reads p (r0) directly.
+        let p = Reg::new(0);
+        assert!(m.funcs[0].blocks[0].insts.iter().any(
+            |i| matches!(i, Inst::Bin { lhs: Operand::Reg(a), rhs: Operand::Reg(b), .. }
+                if *a == p && *b == p)
+        ));
+    }
+
+    #[test]
+    fn redefinition_kills_copy() {
+        let mut mb = ModuleBuilder::new("m");
+        mb.function("f", 1, |f| {
+            let p = f.param(0);
+            let c = f.mov(p.into());
+            f.mov_to(p, Operand::ImmI(99)); // p redefined: c != p now
+            let s = f.bin(BinOp::Add, c.into(), Operand::ImmI(0));
+            f.ret(Some(s.into()));
+        });
+        let mut m = mb.finish();
+        CopyProp.run(&mut m.funcs[0]);
+        let c = Reg::new(1);
+        // The add must still read c, not p.
+        assert!(m.funcs[0].blocks[0].insts.iter().any(
+            |i| matches!(i, Inst::Bin { lhs: Operand::Reg(a), .. } if *a == c)
+        ));
+    }
+
+    #[test]
+    fn ret_operand_propagated() {
+        let mut mb = ModuleBuilder::new("m");
+        mb.function("f", 1, |f| {
+            let p = f.param(0);
+            let c = f.mov(p.into());
+            f.ret(Some(c.into()));
+        });
+        let mut m = mb.finish();
+        assert!(CopyProp.run(&mut m.funcs[0]));
+        assert!(matches!(
+            m.funcs[0].blocks[0].term,
+            Some(encore_ir::Terminator::Ret(Some(Operand::Reg(r)))) if r == Reg::new(0)
+        ));
+    }
+}

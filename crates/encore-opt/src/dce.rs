@@ -1,0 +1,144 @@
+//! Dead-code elimination.
+//!
+//! Removes side-effect-free instructions (`Bin`, `Un`, `Mov`, `Lea`)
+//! whose destination is dead at that point, using per-instruction
+//! liveness derived backward from block live-outs.
+//!
+//! Like production optimizers, DCE assumes type-correct programs: a dead
+//! `Bin` that *would* have trapped on an operand-type mismatch is removed
+//! anyway (ill-typed programs have no optimization guarantees).
+
+use crate::Pass;
+use encore_analysis::Liveness;
+use encore_ir::{Function, Inst};
+use std::collections::BTreeSet;
+
+/// The dead-code-elimination pass.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct Dce;
+
+impl Pass for Dce {
+    fn name(&self) -> &'static str {
+        "dce"
+    }
+
+    fn run(&self, func: &mut Function) -> bool {
+        let liveness = Liveness::compute(func);
+        let mut changed = false;
+        for (bid, block) in func
+            .blocks
+            .iter_mut()
+            .enumerate()
+            .map(|(i, b)| (encore_ir::BlockId::new(i as u32), b))
+        {
+            // Walk backward from the block live-out, marking dead defs.
+            let mut live: BTreeSet<encore_ir::Reg> =
+                liveness.live_out(bid).iter().copied().collect();
+            if let Some(t) = &block.term {
+                live.extend(t.uses());
+            }
+            let mut keep = vec![true; block.insts.len()];
+            for (i, inst) in block.insts.iter().enumerate().rev() {
+                let removable = matches!(
+                    inst,
+                    Inst::Bin { .. } | Inst::Un { .. } | Inst::Mov { .. } | Inst::Lea { .. }
+                );
+                let dead_def = inst.def().map(|d| !live.contains(&d)).unwrap_or(false);
+                if removable && dead_def {
+                    keep[i] = false;
+                    changed = true;
+                    continue;
+                }
+                if let Some(d) = inst.def() {
+                    live.remove(&d);
+                }
+                live.extend(inst.uses());
+            }
+            if changed {
+                let mut idx = 0;
+                block.insts.retain(|_| {
+                    let k = keep[idx];
+                    idx += 1;
+                    k
+                });
+            }
+        }
+        changed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use encore_ir::{AddrExpr, BinOp, ModuleBuilder, Operand};
+
+    #[test]
+    fn removes_dead_arithmetic() {
+        let mut mb = ModuleBuilder::new("m");
+        mb.function("f", 1, |f| {
+            let p = f.param(0);
+            let _dead = f.bin(BinOp::Mul, p.into(), Operand::ImmI(3));
+            f.ret(Some(p.into()));
+        });
+        let mut m = mb.finish();
+        assert!(Dce.run(&mut m.funcs[0]));
+        assert!(m.funcs[0].blocks[0].insts.is_empty());
+    }
+
+    #[test]
+    fn keeps_live_chain() {
+        let mut mb = ModuleBuilder::new("m");
+        mb.function("f", 1, |f| {
+            let p = f.param(0);
+            let a = f.bin(BinOp::Add, p.into(), Operand::ImmI(1));
+            let b = f.bin(BinOp::Mul, a.into(), Operand::ImmI(2));
+            f.ret(Some(b.into()));
+        });
+        let mut m = mb.finish();
+        assert!(!Dce.run(&mut m.funcs[0]));
+        assert_eq!(m.funcs[0].blocks[0].insts.len(), 2);
+    }
+
+    #[test]
+    fn never_removes_stores_or_calls() {
+        let mut mb = ModuleBuilder::new("m");
+        let g = mb.global("g", 1);
+        let leaf = mb.function("leaf", 0, |f| f.ret(None));
+        mb.function("f", 0, |f| {
+            f.store(AddrExpr::global(g, 0), Operand::ImmI(1));
+            f.call_void(leaf, &[]);
+            f.ret(None);
+        });
+        let mut m = mb.finish();
+        assert!(!Dce.run(&mut m.funcs[1]));
+        assert_eq!(m.funcs[1].blocks[0].insts.len(), 2);
+    }
+
+    #[test]
+    fn dead_value_live_in_other_block_is_kept() {
+        let mut mb = ModuleBuilder::new("m");
+        mb.function("f", 1, |f| {
+            let p = f.param(0);
+            let v = f.bin(BinOp::Add, p.into(), Operand::ImmI(1));
+            f.if_else(p.into(), |_| {}, |_| {});
+            f.ret(Some(v.into())); // v used in the join block
+        });
+        let mut m = mb.finish();
+        assert!(!Dce.run(&mut m.funcs[0]));
+    }
+
+    #[test]
+    fn cascading_dead_code_removed_by_iteration() {
+        let mut mb = ModuleBuilder::new("m");
+        mb.function("f", 1, |f| {
+            let p = f.param(0);
+            let a = f.bin(BinOp::Add, p.into(), Operand::ImmI(1));
+            let _b = f.bin(BinOp::Mul, a.into(), Operand::ImmI(2)); // both dead
+            f.ret(Some(p.into()));
+        });
+        let mut m = mb.finish();
+        // One backward pass removes both (b first, making a dead too).
+        assert!(Dce.run(&mut m.funcs[0]));
+        assert!(m.funcs[0].blocks[0].insts.is_empty(), "{}", m.funcs[0]);
+    }
+}

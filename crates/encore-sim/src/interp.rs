@@ -1,0 +1,1023 @@
+//! The IR interpreter with Encore's rollback-recovery runtime.
+//!
+//! One machine executes one entry-point call to completion, optionally:
+//!
+//! * collecting an execution [`Profile`] (training runs),
+//! * collecting a dynamic memory-event trace (Figure 1),
+//! * attributing dynamic instructions to regions (Figure 6),
+//! * injecting a single transient fault and modelling its detection
+//!   (Figure 8's SFI).
+//!
+//! ## Recovery semantics
+//!
+//! `SetRecovery` arms the current frame with the region's recovery block
+//! and an empty checkpoint log; `CheckpointMem`/`CheckpointReg` append
+//! undo entries; when a fault is *detected* (latency expiring, or a
+//! symptom trap while a fault is live) the machine unwinds to the nearest
+//! frame with an armed recovery, redirects control to the recovery block,
+//! whose `Restore` applies the log in reverse and jumps back to the
+//! region header. If no frame is armed, the detection is unrecoverable —
+//! exactly the paper's "no hardware support, no Encore region" case.
+
+use crate::externs::Externs;
+use crate::memory::Memory;
+use crate::value::{eval_bin, eval_un, Value};
+use encore_core::RegionMap;
+use encore_analysis::Profile;
+use encore_ir::{
+    AddrExpr, BlockId, FuncId, Inst, MemBase, MemEvent, Module, ObjKind, Offset, Operand, Reg,
+    RegionId, Terminator,
+};
+use std::collections::BTreeMap;
+
+/// Why a run stopped abnormally.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TrapKind {
+    /// Memory access violation (out of bounds / dangling handle).
+    Memory(String),
+    /// Operator/type error.
+    Eval(String),
+    /// The fuel budget was exhausted (livelock or runaway loop).
+    FuelExhausted,
+    /// A fault was detected but no recovery region was armed.
+    DetectedUnrecoverable,
+}
+
+/// An abnormal termination.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Trap {
+    /// Category.
+    pub kind: TrapKind,
+    /// Dynamic instruction count at the trap.
+    pub at: u64,
+}
+
+impl std::fmt::Display for Trap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trap at dynamic instruction {}: {:?}", self.at, self.kind)
+    }
+}
+
+impl std::error::Error for Trap {}
+
+/// A planned transient fault: flip `bit` of the value produced by the
+/// `inject_at`-th *eligible* dynamic instruction (value-producing or
+/// store), detected `detect_latency` dynamic instructions later.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FaultPlan {
+    /// Eligible-instruction ordinal to corrupt.
+    pub inject_at: u64,
+    /// Bit to flip (0–63).
+    pub bit: u8,
+    /// Detection latency in dynamic instructions (`l` of Eq. 6).
+    pub detect_latency: u64,
+}
+
+/// What happened to the planned fault during the run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct FaultTelemetry {
+    /// The fault was injected.
+    pub injected: bool,
+    /// Detection fired (latency expiry or symptom trap).
+    pub detected: bool,
+    /// A rollback to a recovery block happened.
+    pub rolled_back: bool,
+    /// The region rolled back to, if any.
+    pub rollback_region: Option<RegionId>,
+    /// Function and block executing when the fault was injected.
+    pub inject_site: Option<(FuncId, BlockId)>,
+}
+
+/// Execution options.
+#[derive(Clone, PartialEq, Debug)]
+pub struct RunConfig {
+    /// Maximum dynamic instructions before a
+    /// [`TrapKind::FuelExhausted`] trap.
+    pub fuel: u64,
+    /// Collect a block/edge [`Profile`].
+    pub collect_profile: bool,
+    /// Collect a [`MemEvent`] trace.
+    pub collect_trace: bool,
+    /// Attribute dynamic instructions to regions (needs a region map).
+    pub region_accounting: bool,
+    /// Seed for the deterministic extern environment.
+    pub extern_seed: u64,
+    /// Fault to inject, if any.
+    pub fault: Option<FaultPlan>,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        Self {
+            fuel: 200_000_000,
+            collect_profile: false,
+            collect_trace: false,
+            region_accounting: false,
+            extern_seed: 0x5EED,
+            fault: None,
+        }
+    }
+}
+
+/// The outcome of a run.
+#[derive(Clone, PartialEq, Debug)]
+pub struct RunResult {
+    /// Return value of the entry call (if the run completed).
+    pub ret: Option<Value>,
+    /// `true` if the program ran to completion (no trap).
+    pub completed: bool,
+    /// The trap, when `completed` is false.
+    pub trap: Option<Trap>,
+    /// Total dynamic instructions retired.
+    pub dyn_insts: u64,
+    /// Dynamic instructions attributable to Encore instrumentation.
+    pub instr_dyn_insts: u64,
+    /// Observable output channel.
+    pub output: Vec<i64>,
+    /// Final global memory (observable state).
+    pub globals: Vec<Vec<Value>>,
+    /// Training profile (when requested).
+    pub profile: Option<Profile>,
+    /// Memory-event trace (when requested).
+    pub trace: Option<Vec<MemEvent>>,
+    /// Dynamic instructions per region (when requested).
+    pub region_dyn: BTreeMap<RegionId, u64>,
+    /// Number of fault-eligible (value-producing) dynamic instructions —
+    /// the sample space for uniform fault injection.
+    pub eligible_insts: u64,
+    /// Largest checkpoint-log footprint observed for any single region
+    /// activation, in bytes (memory entries 16 B, register entries 8 B) —
+    /// the *measured* runtime analogue of Figure 7b / Table 1 storage.
+    pub ckpt_high_water_bytes: u64,
+    /// Fault telemetry.
+    pub fault: FaultTelemetry,
+}
+
+impl RunResult {
+    /// Architecturally observable state equality: return value, output
+    /// channel and final global memory.
+    pub fn observably_equal(&self, other: &RunResult) -> bool {
+        self.ret == other.ret && self.output == other.output && self.globals == other.globals
+    }
+}
+
+struct RecoveryState {
+    region: RegionId,
+    recovery_block: BlockId,
+    log: Vec<CkptEntry>,
+}
+
+enum CkptEntry {
+    Mem { obj: usize, idx: i64, val: Value },
+    Reg { reg: Reg, val: Value },
+}
+
+struct Frame {
+    func: FuncId,
+    block: BlockId,
+    ip: usize,
+    regs: Vec<Value>,
+    slots: Vec<usize>,
+    recovery: Option<RecoveryState>,
+    ret_dst: Option<Reg>,
+}
+
+struct FaultState {
+    plan: FaultPlan,
+    injected: bool,
+    detect_at: Option<u64>,
+    detected: bool,
+}
+
+/// The interpreter.
+pub struct Machine<'a> {
+    module: &'a Module,
+    map: Option<&'a RegionMap>,
+    mem: Memory,
+    frames: Vec<Frame>,
+    externs: Externs,
+    dyn_insts: u64,
+    instr_dyn: u64,
+    frame_seq: u32,
+    heap_seq: u32,
+    last_alloc_of_site: BTreeMap<u32, usize>,
+    profile: Option<Profile>,
+    trace: Option<Vec<MemEvent>>,
+    region_dyn: BTreeMap<RegionId, u64>,
+    region_accounting: bool,
+    fault: Option<FaultState>,
+    telemetry: FaultTelemetry,
+    eligible_seen: u64,
+    ckpt_high_water: u64,
+    fuel: u64,
+    final_ret: Option<Value>,
+}
+
+impl std::fmt::Debug for Machine<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Machine")
+            .field("module", &self.module.name)
+            .field("dyn_insts", &self.dyn_insts)
+            .field("frames", &self.frames.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Runs `entry(args)` on `module` under `config`. `map` supplies the
+/// recovery metadata for instrumented modules (pass `None` for plain
+/// ones).
+pub fn run_function(
+    module: &Module,
+    map: Option<&RegionMap>,
+    entry: FuncId,
+    args: &[Value],
+    config: &RunConfig,
+) -> RunResult {
+    let mut m = Machine::new(module, map, config);
+    m.call(entry, args, None);
+    m.run(config)
+}
+
+impl<'a> Machine<'a> {
+    fn new(module: &'a Module, map: Option<&'a RegionMap>, config: &RunConfig) -> Self {
+        Self {
+            module,
+            map,
+            mem: Memory::for_module(module),
+            frames: Vec::new(),
+            externs: Externs::new(config.extern_seed),
+            dyn_insts: 0,
+            instr_dyn: 0,
+            frame_seq: 0,
+            heap_seq: 0,
+            last_alloc_of_site: BTreeMap::new(),
+            profile: config.collect_profile.then(|| Profile::empty_for(module)),
+            trace: config.collect_trace.then(Vec::new),
+            region_dyn: BTreeMap::new(),
+            region_accounting: config.region_accounting,
+            fault: config.fault.map(|plan| FaultState {
+                plan,
+                injected: false,
+                detect_at: None,
+                detected: false,
+            }),
+            telemetry: FaultTelemetry::default(),
+            eligible_seen: 0,
+            ckpt_high_water: 0,
+            fuel: config.fuel,
+            final_ret: None,
+        }
+    }
+
+    fn call(&mut self, func: FuncId, args: &[Value], ret_dst: Option<Reg>) {
+        let f = self.module.func(func);
+        let mut regs = vec![Value::ZERO; f.reg_count as usize];
+        for (i, a) in args.iter().enumerate().take(f.param_count as usize) {
+            regs[i] = *a;
+        }
+        let frame_no = self.frame_seq;
+        self.frame_seq += 1;
+        let slots = f
+            .slots
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                self.mem.alloc(
+                    ObjKind::Slot { frame: frame_no, slot: i as u32 },
+                    s.cells as usize,
+                )
+            })
+            .collect();
+        self.note_block_entry(func, f.entry());
+        self.frames.push(Frame {
+            func,
+            block: f.entry(),
+            ip: 0,
+            regs,
+            slots,
+            recovery: None,
+            ret_dst,
+        });
+    }
+
+    fn note_block_entry(&mut self, func: FuncId, block: BlockId) {
+        if let Some(p) = &mut self.profile {
+            *p.func_mut(func).block_counts.entry(block).or_insert(0) += 1;
+        }
+    }
+
+    fn note_edge(&mut self, func: FuncId, from: BlockId, to: BlockId) {
+        if let Some(p) = &mut self.profile {
+            *p.func_mut(func).edge_counts.entry((from, to)).or_insert(0) += 1;
+        }
+    }
+
+    fn charge(&mut self, func: FuncId, block: BlockId, cost: u64, instrumentation: bool) {
+        self.dyn_insts += cost;
+        if instrumentation {
+            self.instr_dyn += cost;
+        }
+        if let Some(p) = &mut self.profile {
+            p.func_mut(func).dyn_insts += cost;
+            p.total_dyn_insts += cost;
+        }
+        if self.region_accounting {
+            if let Some(map) = self.map {
+                if let Some(rid) = map.region_of(func, block) {
+                    *self.region_dyn.entry(rid).or_insert(0) += cost;
+                }
+            }
+        }
+    }
+
+    fn operand(&self, op: &Operand) -> Value {
+        let frame = self.frames.last().expect("no frame");
+        match op {
+            Operand::Reg(r) => frame.regs[r.index()],
+            Operand::ImmI(v) => Value::Int(*v),
+            Operand::ImmF(v) => Value::Float(*v),
+        }
+    }
+
+    fn set_reg(&mut self, r: Reg, v: Value) {
+        let frame = self.frames.last_mut().expect("no frame");
+        frame.regs[r.index()] = v;
+    }
+
+    /// Resolves an address expression to `(object handle, cell index)`.
+    fn resolve(&self, addr: &AddrExpr) -> Result<(usize, i64), Trap> {
+        let frame = self.frames.last().expect("no frame");
+        let (obj, base_idx) = match addr.base {
+            MemBase::Global(g) => (self.mem.global_handle(g.raw()), 0i64),
+            MemBase::Slot(s) => {
+                let h = *frame.slots.get(s.index()).ok_or_else(|| Trap {
+                    kind: TrapKind::Memory(format!("undeclared slot {s}")),
+                    at: self.dyn_insts,
+                })?;
+                (h, 0)
+            }
+            MemBase::Heap(h) => {
+                let handle =
+                    self.last_alloc_of_site.get(&h.raw()).copied().ok_or_else(|| Trap {
+                        kind: TrapKind::Memory(format!("heap site {h} has no allocation")),
+                        at: self.dyn_insts,
+                    })?;
+                (handle, 0)
+            }
+            MemBase::Reg(r) => match frame.regs[r.index()] {
+                Value::Ptr { obj, idx } => (obj, idx),
+                other => {
+                    return Err(Trap {
+                        kind: TrapKind::Memory(format!(
+                            "register {r} does not hold a pointer (holds {other})"
+                        )),
+                        at: self.dyn_insts,
+                    })
+                }
+            },
+        };
+        let off = match addr.offset {
+            Offset::Const(c) => c,
+            Offset::Scaled { index, scale, disp } => match frame.regs[index.index()] {
+                Value::Int(i) => i.wrapping_mul(scale).wrapping_add(disp),
+                other => {
+                    return Err(Trap {
+                        kind: TrapKind::Memory(format!(
+                            "index register {index} is not an integer (holds {other})"
+                        )),
+                        at: self.dyn_insts,
+                    })
+                }
+            },
+        };
+        Ok((obj, base_idx.wrapping_add(off)))
+    }
+
+    /// Applies the fault plan to a candidate value if this is the chosen
+    /// eligible instruction. Eligible instructions are counted even
+    /// without a fault plan so golden runs report the sample space.
+    fn maybe_inject(&mut self, v: Value) -> Value {
+        let ordinal = self.eligible_seen;
+        self.eligible_seen += 1;
+        let site = self.frames.last().map(|fr| (fr.func, fr.block));
+        let Some(f) = &mut self.fault else { return v };
+        if !f.injected && ordinal == f.plan.inject_at {
+            f.injected = true;
+            f.detect_at = Some(self.dyn_insts + f.plan.detect_latency);
+            self.telemetry.injected = true;
+            self.telemetry.inject_site = site;
+            return v.flip_bit(f.plan.bit);
+        }
+        v
+    }
+
+    /// True when a live (injected, undetected) fault should now be
+    /// detected.
+    fn detection_due(&self) -> bool {
+        match &self.fault {
+            Some(f) if f.injected && !f.detected => {
+                f.detect_at.map(|d| self.dyn_insts >= d).unwrap_or(false)
+            }
+            _ => false,
+        }
+    }
+
+    /// Fault detection fired: unwind to the nearest armed frame and
+    /// redirect to its recovery block.
+    ///
+    /// Returns `Err` when no frame is armed (unrecoverable).
+    fn trigger_recovery(&mut self) -> Result<(), Trap> {
+        if let Some(f) = &mut self.fault {
+            f.detected = true;
+        }
+        self.telemetry.detected = true;
+        // Find the deepest armed frame.
+        while let Some(frame) = self.frames.last() {
+            if let Some(rec) = &frame.recovery {
+                let (region, block) = (rec.region, rec.recovery_block);
+                let frame = self.frames.last_mut().expect("frame");
+                frame.block = block;
+                frame.ip = 0;
+                self.telemetry.rolled_back = true;
+                self.telemetry.rollback_region = Some(region);
+                // The fault is consumed: re-execution is fault-free.
+                self.fault = None;
+                return Ok(());
+            }
+            self.frames.pop();
+        }
+        Err(Trap { kind: TrapKind::DetectedUnrecoverable, at: self.dyn_insts })
+    }
+
+    /// Records a memory-site footprint into the profile (for the
+    /// profile-guided alias oracle).
+    fn note_footprint(&mut self, func: FuncId, at: encore_ir::InstRef, obj: usize, idx: i64) {
+        if self.profile.is_some() {
+            let cell = self.mem.cell_of(obj, idx);
+            if let Some(p) = &mut self.profile {
+                p.mem.record(encore_analysis::SiteRef { func, at }, cell);
+            }
+        }
+    }
+
+    fn trace_mem(&mut self, kind: encore_ir::AccessKind, obj: usize, idx: i64) {
+        if let Some(t) = &mut self.trace {
+            let cell = self.mem.cell_of(obj, idx);
+            let at = self.dyn_insts;
+            t.push(MemEvent { kind, cell, at });
+        }
+    }
+
+    /// Executes one instruction or terminator.
+    ///
+    /// Returns `Ok(true)` while the program is still running.
+    fn step(&mut self) -> Result<bool, Trap> {
+        if self.dyn_insts >= self.fuel {
+            return Err(Trap { kind: TrapKind::FuelExhausted, at: self.dyn_insts });
+        }
+        if self.detection_due() {
+            self.trigger_recovery()?;
+        }
+        let Some(frame) = self.frames.last() else {
+            return Ok(false);
+        };
+        let (func_id, block_id, ip) = (frame.func, frame.block, frame.ip);
+        let func = self.module.func(func_id);
+        let block = func.block(block_id);
+
+        if ip < block.insts.len() {
+            // Clone the instruction handle cheaply via pointer; Inst is
+            // small except Call args — clone is acceptable here.
+            let inst = block.insts[ip].clone();
+            self.charge(func_id, block_id, inst.cost(), inst.is_instrumentation());
+            self.frames.last_mut().expect("frame").ip += 1;
+            // A symptom trap here propagates to `run`, which treats it
+            // as detection (ReStore/Shoestring-style anomalous behavior)
+            // while a fault is live.
+            self.exec_inst(func_id, encore_ir::InstRef::new(block_id, ip), &inst)?;
+            Ok(true)
+        } else {
+            let term = block.term.clone().ok_or_else(|| Trap {
+                kind: TrapKind::Eval(format!("unterminated block {block_id}")),
+                at: self.dyn_insts,
+            })?;
+            self.charge(func_id, block_id, 1, false);
+            self.exec_term(func_id, block_id, &term)?;
+            Ok(!self.frames.is_empty())
+        }
+    }
+
+    fn exec_inst(
+        &mut self,
+        func_id: FuncId,
+        at: encore_ir::InstRef,
+        inst: &Inst,
+    ) -> Result<(), Trap> {
+        match inst {
+            Inst::Bin { op, dst, lhs, rhs } => {
+                let a = self.operand(lhs);
+                let b = self.operand(rhs);
+                let v = eval_bin(*op, a, b).map_err(|e| Trap {
+                    kind: TrapKind::Eval(e.message),
+                    at: self.dyn_insts,
+                })?;
+                let v = self.maybe_inject(v);
+                self.set_reg(*dst, v);
+            }
+            Inst::Un { op, dst, src } => {
+                let a = self.operand(src);
+                let v = eval_un(*op, a).map_err(|e| Trap {
+                    kind: TrapKind::Eval(e.message),
+                    at: self.dyn_insts,
+                })?;
+                let v = self.maybe_inject(v);
+                self.set_reg(*dst, v);
+            }
+            Inst::Mov { dst, src } => {
+                let v = self.operand(src);
+                let v = self.maybe_inject(v);
+                self.set_reg(*dst, v);
+            }
+            Inst::Load { dst, addr } => {
+                let (obj, idx) = self.resolve(addr)?;
+                let v = self.mem.read(obj, idx).map_err(|e| Trap {
+                    kind: TrapKind::Memory(e.message),
+                    at: self.dyn_insts,
+                })?;
+                self.trace_mem(encore_ir::AccessKind::Load, obj, idx);
+                self.note_footprint(func_id, at, obj, idx);
+                let v = self.maybe_inject(v);
+                self.set_reg(*dst, v);
+            }
+            Inst::Store { addr, src } => {
+                let (obj, idx) = self.resolve(addr)?;
+                let v = self.operand(src);
+                let v = self.maybe_inject(v);
+                self.mem.write(obj, idx, v).map_err(|e| Trap {
+                    kind: TrapKind::Memory(e.message),
+                    at: self.dyn_insts,
+                })?;
+                self.trace_mem(encore_ir::AccessKind::Store, obj, idx);
+                self.note_footprint(func_id, at, obj, idx);
+            }
+            Inst::Lea { dst, addr } => {
+                let (obj, idx) = self.resolve(addr)?;
+                self.set_reg(*dst, Value::Ptr { obj, idx });
+            }
+            Inst::Alloc { dst, site, size } => {
+                let n = self
+                    .operand(size)
+                    .as_int()
+                    .filter(|n| *n >= 0)
+                    .ok_or_else(|| Trap {
+                        kind: TrapKind::Memory("alloc size must be a non-negative int".into()),
+                        at: self.dyn_insts,
+                    })?;
+                let handle = self.mem.alloc(ObjKind::Heap(self.heap_seq), n as usize);
+                self.heap_seq += 1;
+                self.last_alloc_of_site.insert(site.raw(), handle);
+                self.set_reg(*dst, Value::Ptr { obj: handle, idx: 0 });
+            }
+            Inst::Call { callee, dst, args } => {
+                let vals: Vec<Value> = args.iter().map(|a| self.operand(a)).collect();
+                self.call(*callee, &vals, *dst);
+            }
+            Inst::CallExt { name, dst, args, .. } => {
+                let vals: Vec<Value> = args.iter().map(|a| self.operand(a)).collect();
+                let r = self.externs.call(name, &vals).map_err(|e| Trap {
+                    kind: TrapKind::Eval(e.message),
+                    at: self.dyn_insts,
+                })?;
+                if let Some(d) = dst {
+                    let r = self.maybe_inject(r);
+                    self.set_reg(*d, r);
+                }
+            }
+            Inst::SetRecovery { region } => {
+                let info = self
+                    .map
+                    .and_then(|m| m.regions.get(region.index()))
+                    .ok_or_else(|| Trap {
+                        kind: TrapKind::Eval(format!("SetRecovery for unknown {region}")),
+                        at: self.dyn_insts,
+                    })?;
+                let rb = info.recovery_block.ok_or_else(|| Trap {
+                    kind: TrapKind::Eval(format!("{region} has no recovery block")),
+                    at: self.dyn_insts,
+                })?;
+                let frame = self.frames.last_mut().expect("frame");
+                frame.recovery = Some(RecoveryState {
+                    region: *region,
+                    recovery_block: rb,
+                    log: Vec::new(),
+                });
+            }
+            Inst::CheckpointMem { addr } => {
+                let (obj, idx) = self.resolve(addr)?;
+                let val = self.mem.read(obj, idx).map_err(|e| Trap {
+                    kind: TrapKind::Memory(e.message),
+                    at: self.dyn_insts,
+                })?;
+                let frame = self.frames.last_mut().expect("frame");
+                if let Some(rec) = &mut frame.recovery {
+                    rec.log.push(CkptEntry::Mem { obj, idx, val });
+                    let bytes = rec
+                        .log
+                        .iter()
+                        .map(|e| match e {
+                            CkptEntry::Mem { .. } => 16,
+                            CkptEntry::Reg { .. } => 8,
+                        })
+                        .sum();
+                    self.ckpt_high_water = self.ckpt_high_water.max(bytes);
+                }
+            }
+            Inst::CheckpointReg { reg } => {
+                let frame = self.frames.last_mut().expect("frame");
+                let val = frame.regs[reg.index()];
+                if let Some(rec) = &mut frame.recovery {
+                    rec.log.push(CkptEntry::Reg { reg: *reg, val });
+                    let bytes = rec
+                        .log
+                        .iter()
+                        .map(|e| match e {
+                            CkptEntry::Mem { .. } => 16,
+                            CkptEntry::Reg { .. } => 8,
+                        })
+                        .sum();
+                    self.ckpt_high_water = self.ckpt_high_water.max(bytes);
+                }
+            }
+            Inst::Restore { region } => {
+                let frame = self.frames.last_mut().expect("frame");
+                let Some(rec) = &mut frame.recovery else {
+                    return Err(Trap {
+                        kind: TrapKind::Eval(format!("Restore {region} with no armed recovery")),
+                        at: self.dyn_insts,
+                    });
+                };
+                let log = std::mem::take(&mut rec.log);
+                for entry in log.into_iter().rev() {
+                    match entry {
+                        CkptEntry::Reg { reg, val } => {
+                            self.frames.last_mut().expect("frame").regs[reg.index()] = val;
+                        }
+                        CkptEntry::Mem { obj, idx, val } => {
+                            self.mem.write(obj, idx, val).map_err(|e| Trap {
+                                kind: TrapKind::Memory(e.message),
+                                at: self.dyn_insts,
+                            })?;
+                        }
+                    }
+                }
+            }
+        }
+        let _ = func_id;
+        Ok(())
+    }
+
+    fn exec_term(
+        &mut self,
+        func_id: FuncId,
+        block_id: BlockId,
+        term: &Terminator,
+    ) -> Result<(), Trap> {
+        match term {
+            Terminator::Jump(t) => {
+                self.note_edge(func_id, block_id, *t);
+                self.note_block_entry(func_id, *t);
+                let frame = self.frames.last_mut().expect("frame");
+                frame.block = *t;
+                frame.ip = 0;
+            }
+            Terminator::Branch { cond, then_bb, else_bb } => {
+                let c = self.operand(cond);
+                let target = if c.truthy() { *then_bb } else { *else_bb };
+                self.note_edge(func_id, block_id, target);
+                self.note_block_entry(func_id, target);
+                let frame = self.frames.last_mut().expect("frame");
+                frame.block = target;
+                frame.ip = 0;
+            }
+            Terminator::Ret(v) => {
+                let val = v.as_ref().map(|op| self.operand(op));
+                let frame = self.frames.pop().expect("frame");
+                if let Some(p) = &mut self.profile {
+                    p.func_mut(func_id).invocations += 1;
+                }
+                match self.frames.last_mut() {
+                    Some(caller) => {
+                        if let Some(dst) = frame.ret_dst {
+                            caller.regs[dst.index()] = val.unwrap_or(Value::ZERO);
+                        }
+                    }
+                    None => self.final_ret = val,
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn run(mut self, _config: &RunConfig) -> RunResult {
+        let mut trap: Option<Trap> = None;
+        loop {
+            match self.step() {
+                Ok(true) => continue,
+                Ok(false) => break,
+                Err(t) => {
+                    // Symptom-based detection: a trap while an undetected
+                    // fault is live triggers the recovery path instead of
+                    // killing the run.
+                    let fault_live = self
+                        .fault
+                        .as_ref()
+                        .map(|f| f.injected && !f.detected)
+                        .unwrap_or(false);
+                    if fault_live && !matches!(t.kind, TrapKind::FuelExhausted) {
+                        match self.trigger_recovery() {
+                            Ok(()) => continue,
+                            Err(t2) => {
+                                trap = Some(t2);
+                                break;
+                            }
+                        }
+                    }
+                    trap = Some(t);
+                    break;
+                }
+            }
+        }
+        RunResult {
+            ret: self.final_ret,
+            completed: trap.is_none(),
+            trap,
+            dyn_insts: self.dyn_insts,
+            instr_dyn_insts: self.instr_dyn,
+            output: self.externs.output,
+            globals: self.mem.globals_snapshot(),
+            profile: self.profile,
+            trace: self.trace,
+            region_dyn: self.region_dyn,
+            eligible_insts: self.eligible_seen,
+            ckpt_high_water_bytes: self.ckpt_high_water,
+            fault: self.telemetry,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use encore_ir::{AddrExpr, BinOp, ExtEffect, ModuleBuilder};
+
+    fn run_simple(m: &Module, entry: &str, args: &[Value]) -> RunResult {
+        let fid = m.func_by_name(entry).expect("entry exists");
+        run_function(m, None, fid, args, &RunConfig::default())
+    }
+
+    #[test]
+    fn arithmetic_and_return() {
+        let mut mb = ModuleBuilder::new("m");
+        mb.function("add", 2, |f| {
+            let a = f.param(0);
+            let b = f.param(1);
+            let s = f.bin(BinOp::Add, a.into(), b.into());
+            f.ret(Some(s.into()));
+        });
+        let m = mb.finish();
+        let r = run_simple(&m, "add", &[Value::Int(2), Value::Int(40)]);
+        assert!(r.completed);
+        assert_eq!(r.ret, Some(Value::Int(42)));
+        assert!(r.dyn_insts >= 2);
+    }
+
+    #[test]
+    fn loop_sums_correctly() {
+        let mut mb = ModuleBuilder::new("m");
+        mb.function("sum", 1, |f| {
+            let n = f.param(0);
+            let acc = f.mov(Operand::ImmI(0));
+            f.for_range(Operand::ImmI(0), n.into(), |f, i| {
+                f.bin_to(acc, BinOp::Add, acc.into(), i.into());
+            });
+            f.ret(Some(acc.into()));
+        });
+        let m = mb.finish();
+        let r = run_simple(&m, "sum", &[Value::Int(10)]);
+        assert_eq!(r.ret, Some(Value::Int(45)));
+    }
+
+    #[test]
+    fn memory_and_globals_observable() {
+        let mut mb = ModuleBuilder::new("m");
+        let g = mb.global("g", 2);
+        mb.function("f", 0, |f| {
+            f.store(AddrExpr::global(g, 0), Operand::ImmI(7));
+            let v = f.load(AddrExpr::global(g, 0));
+            f.store(AddrExpr::global(g, 1), v.into());
+            f.ret(None);
+        });
+        let m = mb.finish();
+        let r = run_simple(&m, "f", &[]);
+        assert_eq!(r.globals[0][0], Value::Int(7));
+        assert_eq!(r.globals[0][1], Value::Int(7));
+    }
+
+    #[test]
+    fn calls_and_slots() {
+        let mut mb = ModuleBuilder::new("m");
+        let sq = mb.function("sq", 1, |f| {
+            let p = f.param(0);
+            let r = f.bin(BinOp::Mul, p.into(), p.into());
+            f.ret(Some(r.into()));
+        });
+        mb.function("main", 0, |f| {
+            let s = f.slot(2);
+            let v = f.call(sq, &[Operand::ImmI(6)]);
+            f.store(AddrExpr::slot(s, 0), v.into());
+            let w = f.load(AddrExpr::slot(s, 0));
+            f.ret(Some(w.into()));
+        });
+        let m = mb.finish();
+        let r = run_simple(&m, "main", &[]);
+        assert_eq!(r.ret, Some(Value::Int(36)));
+    }
+
+    #[test]
+    fn recursion_works() {
+        let mut mb = ModuleBuilder::new("m");
+        let fib = mb.declare("fib", 1);
+        mb.define(fib, |f| {
+            let n = f.param(0);
+            let base = f.bin(BinOp::Lt, n.into(), Operand::ImmI(2));
+            f.if_then(base.into(), |f| f.ret(Some(n.into())));
+            let n1 = f.bin(BinOp::Sub, n.into(), Operand::ImmI(1));
+            let n2 = f.bin(BinOp::Sub, n.into(), Operand::ImmI(2));
+            let a = f.call(fib, &[n1.into()]);
+            let b = f.call(fib, &[n2.into()]);
+            let s = f.bin(BinOp::Add, a.into(), b.into());
+            f.ret(Some(s.into()));
+        });
+        let m = mb.finish();
+        let r = run_simple(&m, "fib", &[Value::Int(10)]);
+        assert_eq!(r.ret, Some(Value::Int(55)));
+    }
+
+    #[test]
+    fn heap_alloc_and_pointers() {
+        let mut mb = ModuleBuilder::new("m");
+        mb.function("f", 0, |f| {
+            let p = f.alloc(Operand::ImmI(4));
+            f.store(AddrExpr::reg(p, 2), Operand::ImmI(11));
+            let q = f.bin(BinOp::Add, p.into(), Operand::ImmI(2));
+            let v = f.load(AddrExpr::reg(q, 0));
+            f.ret(Some(v.into()));
+        });
+        let m = mb.finish();
+        let r = run_simple(&m, "f", &[]);
+        assert_eq!(r.ret, Some(Value::Int(11)));
+    }
+
+    #[test]
+    fn out_of_bounds_traps() {
+        let mut mb = ModuleBuilder::new("m");
+        let g = mb.global("g", 1);
+        mb.function("f", 0, |f| {
+            f.store(AddrExpr::global(g, 5), Operand::ImmI(1));
+            f.ret(None);
+        });
+        let m = mb.finish();
+        let r = run_simple(&m, "f", &[]);
+        assert!(!r.completed);
+        assert!(matches!(r.trap.as_ref().unwrap().kind, TrapKind::Memory(_)));
+    }
+
+    #[test]
+    fn fuel_exhaustion_traps() {
+        let mut mb = ModuleBuilder::new("m");
+        mb.function("f", 0, |f| {
+            let header = f.add_block();
+            f.jump(header);
+            f.switch_to(header);
+            f.jump(header);
+        });
+        let m = mb.finish();
+        let fid = m.func_by_name("f").unwrap();
+        let config = RunConfig { fuel: 1000, ..Default::default() };
+        let r = run_function(&m, None, fid, &[], &config);
+        assert!(!r.completed);
+        assert_eq!(r.trap.unwrap().kind, TrapKind::FuelExhausted);
+    }
+
+    #[test]
+    fn profile_counts_blocks_and_edges() {
+        let mut mb = ModuleBuilder::new("m");
+        mb.function("f", 1, |f| {
+            let n = f.param(0);
+            let acc = f.mov(Operand::ImmI(0));
+            f.for_range(Operand::ImmI(0), n.into(), |f, i| {
+                f.bin_to(acc, BinOp::Add, acc.into(), i.into());
+            });
+            f.ret(Some(acc.into()));
+        });
+        let m = mb.finish();
+        let fid = m.func_by_name("f").unwrap();
+        let config = RunConfig { collect_profile: true, ..Default::default() };
+        let r = run_function(&m, None, fid, &[Value::Int(5)], &config);
+        let p = r.profile.expect("profile collected");
+        let fp = p.func(fid);
+        // Entry once; loop header 6 times (5 iterations + final check);
+        // body 5 times.
+        assert_eq!(fp.count(BlockId::new(0)), 1);
+        assert_eq!(fp.count(BlockId::new(1)), 6);
+        assert_eq!(fp.count(BlockId::new(2)), 5);
+        assert_eq!(fp.invocations, 1);
+        assert_eq!(p.total_dyn_insts, r.dyn_insts);
+    }
+
+    #[test]
+    fn trace_records_memory_events() {
+        let mut mb = ModuleBuilder::new("m");
+        let g = mb.global("g", 2);
+        mb.function("f", 0, |f| {
+            f.store(AddrExpr::global(g, 0), Operand::ImmI(1));
+            let v = f.load(AddrExpr::global(g, 0));
+            f.store(AddrExpr::global(g, 1), v.into());
+            f.ret(None);
+        });
+        let m = mb.finish();
+        let fid = m.func_by_name("f").unwrap();
+        let config = RunConfig { collect_trace: true, ..Default::default() };
+        let r = run_function(&m, None, fid, &[], &config);
+        let t = r.trace.expect("trace collected");
+        assert_eq!(t.len(), 3);
+        assert_eq!(t[0].kind, encore_ir::AccessKind::Store);
+        assert_eq!(t[1].kind, encore_ir::AccessKind::Load);
+        assert_eq!(t[0].cell, t[1].cell);
+    }
+
+    #[test]
+    fn externs_flow_through() {
+        let mut mb = ModuleBuilder::new("m");
+        mb.function("f", 0, |f| {
+            let x = f.call_ext("pow", &[Operand::ImmF(2.0), Operand::ImmF(3.0)], ExtEffect::Pure);
+            let i = f.un(encore_ir::UnOp::FToI, x.into());
+            f.call_ext_void("print_i64", &[i.into()], ExtEffect::Opaque);
+            f.ret(Some(i.into()));
+        });
+        let m = mb.finish();
+        let r = run_simple(&m, "f", &[]);
+        assert_eq!(r.ret, Some(Value::Int(8)));
+        assert_eq!(r.output, vec![8]);
+    }
+
+    #[test]
+    fn profiling_collects_memory_footprints() {
+        let mut mb = ModuleBuilder::new("m");
+        let g = mb.global("g", 8);
+        mb.function("f", 1, |f| {
+            let n = f.param(0);
+            f.for_range(Operand::ImmI(0), n.into(), |f, i| {
+                let v = f.load(AddrExpr::indexed(MemBase::Global(g), i, 1, 0));
+                f.store(AddrExpr::indexed(MemBase::Global(g), i, 1, 4), v.into());
+            });
+            f.ret(None);
+        });
+        let m = mb.finish();
+        let fid = m.func_by_name("f").unwrap();
+        let config = RunConfig { collect_profile: true, ..Default::default() };
+        let r = run_function(&m, None, fid, &[Value::Int(4)], &config);
+        let profile = r.profile.expect("profile");
+        assert!(profile.mem.site_count() >= 2, "load + store sites recorded");
+        // The load site touched cells 0..4, the store site 4..8: disjoint.
+        let sites: Vec<_> = m
+            .func(fid)
+            .iter_insts()
+            .filter(|(_, i)| i.load_addr().is_some() || i.store_addr().is_some())
+            .map(|(at, _)| encore_analysis::SiteRef { func: fid, at })
+            .collect();
+        assert_eq!(sites.len(), 2);
+        assert!(profile.mem.observed_disjoint(sites[0], sites[1]));
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut mb = ModuleBuilder::new("m");
+        let g = mb.global("g", 4);
+        mb.function("f", 0, |f| {
+            f.for_range(Operand::ImmI(0), Operand::ImmI(4), |f, i| {
+                let v = f.call_ext("prng_range", &[Operand::ImmI(100)], ExtEffect::Opaque);
+                f.store(
+                    AddrExpr::indexed(MemBase::Global(g), i, 1, 0),
+                    v.into(),
+                );
+            });
+            f.ret(None);
+        });
+        let m = mb.finish();
+        let a = run_simple(&m, "f", &[]);
+        let b = run_simple(&m, "f", &[]);
+        assert!(a.observably_equal(&b));
+        assert_eq!(a.dyn_insts, b.dyn_insts);
+    }
+}

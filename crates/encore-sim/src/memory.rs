@@ -1,0 +1,207 @@
+//! Segmented machine memory.
+//!
+//! Memory is a table of objects (globals, per-activation stack slots,
+//! heap allocations), each an array of 8-byte cells holding [`Value`]s.
+//! Object handles are plain indices into the table; objects are never
+//! deallocated (arena style), which keeps dangling-pointer semantics
+//! deterministic during fault-injection runs.
+
+use crate::value::Value;
+use encore_ir::{Cell, Module, ObjKind};
+
+/// One memory object.
+#[derive(Clone, PartialEq, Debug)]
+pub struct MemObject {
+    /// What the object is (for trace events and debugging).
+    pub kind: ObjKind,
+    /// The cells.
+    pub cells: Vec<Value>,
+}
+
+/// A memory access error.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MemError {
+    /// Description (object, index, bound).
+    pub message: String,
+}
+
+impl std::fmt::Display for MemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for MemError {}
+
+/// The machine's memory state.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Memory {
+    objects: Vec<MemObject>,
+    /// Number of globals (the first `global_count` objects).
+    global_count: usize,
+}
+
+impl Memory {
+    /// Creates memory with one object per module global, applying
+    /// declared initializers.
+    pub fn for_module(module: &Module) -> Self {
+        let objects = module
+            .globals
+            .iter()
+            .enumerate()
+            .map(|(i, g)| {
+                let mut cells = vec![Value::ZERO; g.cells as usize];
+                for (j, v) in g.init.iter().enumerate().take(cells.len()) {
+                    cells[j] = Value::Int(*v);
+                }
+                MemObject { kind: ObjKind::Global(i as u32), cells }
+            })
+            .collect();
+        Self { objects, global_count: module.globals.len() }
+    }
+
+    /// Handle of global `g`.
+    pub fn global_handle(&self, g: u32) -> usize {
+        debug_assert!((g as usize) < self.global_count);
+        g as usize
+    }
+
+    /// Allocates a fresh object of `cells` cells, returning its handle.
+    pub fn alloc(&mut self, kind: ObjKind, cells: usize) -> usize {
+        let handle = self.objects.len();
+        self.objects.push(MemObject { kind, cells: vec![Value::ZERO; cells] });
+        handle
+    }
+
+    /// Reads cell `idx` of object `handle`.
+    ///
+    /// # Errors
+    ///
+    /// Out-of-bounds or negative indices and dangling handles produce a
+    /// [`MemError`] (the simulator turns it into a detected symptom).
+    pub fn read(&self, handle: usize, idx: i64) -> Result<Value, MemError> {
+        let obj = self.objects.get(handle).ok_or_else(|| MemError {
+            message: format!("read from dangling object handle {handle}"),
+        })?;
+        if idx < 0 || idx as usize >= obj.cells.len() {
+            return Err(MemError {
+                message: format!(
+                    "out-of-bounds read: {}[{idx}] (size {})",
+                    obj.kind,
+                    obj.cells.len()
+                ),
+            });
+        }
+        Ok(obj.cells[idx as usize])
+    }
+
+    /// Writes cell `idx` of object `handle`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Memory::read`].
+    pub fn write(&mut self, handle: usize, idx: i64, v: Value) -> Result<(), MemError> {
+        let obj = self.objects.get_mut(handle).ok_or_else(|| MemError {
+            message: format!("write to dangling object handle {handle}"),
+        })?;
+        if idx < 0 || idx as usize >= obj.cells.len() {
+            return Err(MemError {
+                message: format!(
+                    "out-of-bounds write: {}[{idx}] (size {})",
+                    obj.kind,
+                    obj.cells.len()
+                ),
+            });
+        }
+        obj.cells[idx as usize] = v;
+        Ok(())
+    }
+
+    /// The trace-event cell identity for `(handle, idx)`.
+    pub fn cell_of(&self, handle: usize, idx: i64) -> Cell {
+        let kind = self
+            .objects
+            .get(handle)
+            .map(|o| o.kind)
+            .unwrap_or(ObjKind::Heap(u32::MAX));
+        Cell { obj: kind, index: idx.max(0) as u64 }
+    }
+
+    /// Snapshot of all global objects (the architecturally observable
+    /// state compared against golden runs).
+    pub fn globals_snapshot(&self) -> Vec<Vec<Value>> {
+        self.objects[..self.global_count]
+            .iter()
+            .map(|o| o.cells.clone())
+            .collect()
+    }
+
+    /// Total number of objects ever created.
+    pub fn object_count(&self) -> usize {
+        self.objects.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use encore_ir::ModuleBuilder;
+
+    fn mem() -> Memory {
+        let mut mb = ModuleBuilder::new("m");
+        mb.global_init("a", 4, vec![1, 2]);
+        mb.global("b", 2);
+        Memory::for_module(&mb.finish())
+    }
+
+    #[test]
+    fn globals_initialized() {
+        let m = mem();
+        assert_eq!(m.read(0, 0).unwrap(), Value::Int(1));
+        assert_eq!(m.read(0, 1).unwrap(), Value::Int(2));
+        assert_eq!(m.read(0, 2).unwrap(), Value::ZERO);
+        assert_eq!(m.read(1, 0).unwrap(), Value::ZERO);
+    }
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut m = mem();
+        m.write(1, 1, Value::Float(2.5)).unwrap();
+        assert_eq!(m.read(1, 1).unwrap(), Value::Float(2.5));
+    }
+
+    #[test]
+    fn bounds_checked() {
+        let mut m = mem();
+        assert!(m.read(0, 4).is_err());
+        assert!(m.read(0, -1).is_err());
+        assert!(m.write(0, 100, Value::ZERO).is_err());
+        assert!(m.read(99, 0).is_err());
+    }
+
+    #[test]
+    fn alloc_extends_object_table() {
+        let mut m = mem();
+        let h = m.alloc(ObjKind::Heap(0), 3);
+        assert_eq!(h, 2);
+        m.write(h, 2, Value::Int(9)).unwrap();
+        assert_eq!(m.read(h, 2).unwrap(), Value::Int(9));
+        assert_eq!(m.object_count(), 3);
+    }
+
+    #[test]
+    fn snapshot_covers_globals_only() {
+        let mut m = mem();
+        m.alloc(ObjKind::Heap(0), 8);
+        let snap = m.globals_snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0][0], Value::Int(1));
+    }
+
+    #[test]
+    fn cell_identity() {
+        let m = mem();
+        let c = m.cell_of(1, 0);
+        assert_eq!(c.obj, ObjKind::Global(1));
+    }
+}

@@ -1,0 +1,332 @@
+//! Monte-Carlo statistical fault injection (SFI).
+//!
+//! The paper's full-system evaluation (§4, §5.4) composes an SFI-derived
+//! hardware masking rate with the Encore recoverability model. This
+//! module provides the software half end-to-end: it injects real bit
+//! flips into architecturally visible values of the interpreted program,
+//! models detection latency, lets the Encore runtime roll back, and
+//! classifies each run against the golden (fault-free) execution.
+
+use crate::interp::{run_function, FaultPlan, RunConfig, RunResult, TrapKind};
+use crate::value::Value;
+use encore_core::RegionMap;
+use encore_ir::{FuncId, Module};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Classification of one fault-injection run.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum FaultOutcome {
+    /// The run completed with golden-equal observable state and no
+    /// rollback: the flipped value was architecturally dead or
+    /// overwritten (software-level masking).
+    Benign,
+    /// A rollback happened and the final state matches the golden run:
+    /// Encore recovered the fault.
+    Recovered,
+    /// The run completed but observable state differs from golden:
+    /// silent data corruption (the fault escaped detection, or rollback
+    /// targeted the wrong region).
+    SilentCorruption,
+    /// The fault was detected but no recovery region was armed.
+    DetectedUnrecoverable,
+    /// The run died on a trap after recovery had already been consumed
+    /// (or with no fault live).
+    Crashed,
+    /// The run exceeded its fuel budget (fault-induced livelock).
+    Hung,
+}
+
+/// SFI campaign parameters.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SfiConfig {
+    /// Number of fault injections.
+    pub injections: usize,
+    /// Maximum detection latency (`Dmax`); latency is sampled uniformly
+    /// from `[0, Dmax]`.
+    pub dmax: u64,
+    /// RNG seed (campaigns are reproducible).
+    pub seed: u64,
+    /// Fuel multiplier over the golden run's dynamic instruction count
+    /// (faulted runs may loop longer before detection).
+    pub fuel_factor: u64,
+}
+
+impl Default for SfiConfig {
+    fn default() -> Self {
+        Self { injections: 200, dmax: 100, seed: 0xE7_C04E, fuel_factor: 4 }
+    }
+}
+
+/// Aggregate campaign results.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct SfiStats {
+    /// Total injections performed.
+    pub injections: usize,
+    /// Benign (software-masked) outcomes.
+    pub benign: usize,
+    /// Successful Encore recoveries.
+    pub recovered: usize,
+    /// Silent data corruptions.
+    pub silent_corruption: usize,
+    /// Detected-but-unrecoverable outcomes.
+    pub detected_unrecoverable: usize,
+    /// Crashes.
+    pub crashed: usize,
+    /// Hangs.
+    pub hung: usize,
+}
+
+impl SfiStats {
+    fn record(&mut self, outcome: FaultOutcome) {
+        self.injections += 1;
+        match outcome {
+            FaultOutcome::Benign => self.benign += 1,
+            FaultOutcome::Recovered => self.recovered += 1,
+            FaultOutcome::SilentCorruption => self.silent_corruption += 1,
+            FaultOutcome::DetectedUnrecoverable => self.detected_unrecoverable += 1,
+            FaultOutcome::Crashed => self.crashed += 1,
+            FaultOutcome::Hung => self.hung += 1,
+        }
+    }
+
+    /// Fraction of injections that ended with correct architectural
+    /// state (benign or recovered).
+    pub fn safe_fraction(&self) -> f64 {
+        if self.injections == 0 {
+            return 0.0;
+        }
+        (self.benign + self.recovered) as f64 / self.injections as f64
+    }
+
+    /// Fraction of injections Encore actively recovered.
+    pub fn recovered_fraction(&self) -> f64 {
+        if self.injections == 0 {
+            return 0.0;
+        }
+        self.recovered as f64 / self.injections as f64
+    }
+
+    /// Fraction ending in any failure (SDC, unrecoverable, crash, hang).
+    pub fn failure_fraction(&self) -> f64 {
+        1.0 - self.safe_fraction()
+    }
+}
+
+/// A reusable fault-injection campaign over one entry point.
+#[derive(Debug)]
+pub struct SfiCampaign<'a> {
+    module: &'a Module,
+    map: Option<&'a RegionMap>,
+    entry: FuncId,
+    args: Vec<Value>,
+    golden: RunResult,
+    fuel: u64,
+}
+
+impl<'a> SfiCampaign<'a> {
+    /// Prepares a campaign by running the golden execution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the golden run itself traps — the workload must be
+    /// fault-free before injecting faults into it.
+    pub fn new(
+        module: &'a Module,
+        map: Option<&'a RegionMap>,
+        entry: FuncId,
+        args: &[Value],
+        config: &SfiConfig,
+    ) -> Self {
+        let golden = run_function(module, map, entry, args, &RunConfig::default());
+        assert!(
+            golden.completed,
+            "golden run trapped: {:?}",
+            golden.trap
+        );
+        let fuel = golden.dyn_insts.saturating_mul(config.fuel_factor).max(100_000);
+        Self { module, map, entry, args: args.to_vec(), golden, fuel }
+    }
+
+    /// The golden run.
+    pub fn golden(&self) -> &RunResult {
+        &self.golden
+    }
+
+    /// Runs one injection described by `plan` and classifies it.
+    pub fn run_one(&self, plan: FaultPlan) -> FaultOutcome {
+        let config = RunConfig {
+            fuel: self.fuel,
+            fault: Some(plan),
+            ..Default::default()
+        };
+        let r = run_function(self.module, self.map, self.entry, &self.args, &config);
+        self.classify(&r)
+    }
+
+    fn classify(&self, r: &RunResult) -> FaultOutcome {
+        if let Some(trap) = &r.trap {
+            return match trap.kind {
+                TrapKind::DetectedUnrecoverable => FaultOutcome::DetectedUnrecoverable,
+                TrapKind::FuelExhausted => FaultOutcome::Hung,
+                _ => FaultOutcome::Crashed,
+            };
+        }
+        let matches = r.observably_equal(&self.golden);
+        match (matches, r.fault.rolled_back) {
+            (true, true) => FaultOutcome::Recovered,
+            (true, false) => FaultOutcome::Benign,
+            (false, _) => FaultOutcome::SilentCorruption,
+        }
+    }
+
+    /// Runs a full campaign: `config.injections` faults at uniformly
+    /// random eligible instructions, random bit, uniform latency in
+    /// `[0, Dmax]`.
+    pub fn run(&self, config: &SfiConfig) -> SfiStats {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut stats = SfiStats::default();
+        let space = self.golden.eligible_insts.max(1);
+        for _ in 0..config.injections {
+            let plan = FaultPlan {
+                inject_at: rng.gen_range(0..space),
+                bit: rng.gen_range(0..64),
+                detect_latency: rng.gen_range(0..=config.dmax),
+            };
+            stats.record(self.run_one(plan));
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use encore_analysis::Profile;
+    use encore_core::{Encore, EncoreConfig};
+    use encore_ir::{AddrExpr, BinOp, MemBase, ModuleBuilder, Operand};
+
+    /// A small kernel with a WAR-carrying accumulation loop and a
+    /// streaming loop; protected by Encore.
+    fn protected_kernel() -> (Module, RegionMap, FuncId) {
+        let mut mb = ModuleBuilder::new("m");
+        let src = mb.global_init("src", 32, (0..32).map(|i| i * 3 % 17).collect());
+        let dst = mb.global("dst", 32);
+        let acc = mb.global("acc", 1);
+        let fid = mb.function("kernel", 1, |f| {
+            let n = f.param(0);
+            f.for_range(Operand::ImmI(0), n.into(), |f, i| {
+                let v = f.load(AddrExpr::indexed(MemBase::Global(src), i, 1, 0));
+                let v2 = f.bin(BinOp::Mul, v.into(), Operand::ImmI(2));
+                f.store(AddrExpr::indexed(MemBase::Global(dst), i, 1, 0), v2.into());
+                let a = f.load(AddrExpr::global(acc, 0));
+                let a2 = f.bin(BinOp::Add, a.into(), v2.into());
+                f.store(AddrExpr::global(acc, 0), a2.into());
+            });
+            f.ret(None);
+        });
+        let m = mb.finish();
+
+        // Profile, then instrument with a generous budget.
+        let golden = run_function(
+            &m,
+            None,
+            fid,
+            &[Value::Int(32)],
+            &RunConfig { collect_profile: true, ..Default::default() },
+        );
+        let profile: Profile = golden.profile.expect("profile");
+        let outcome = Encore::new(
+            EncoreConfig::default().with_overhead_budget(1.0).with_eta(0.0),
+        )
+        .run(&m, &profile);
+        let map = outcome.instrumented.map.clone();
+        let module = outcome.instrumented.module.clone();
+        (module, map, fid)
+    }
+
+    #[test]
+    fn golden_run_is_reference() {
+        let (m, map, fid) = protected_kernel();
+        let campaign =
+            SfiCampaign::new(&m, Some(&map), fid, &[Value::Int(32)], &SfiConfig::default());
+        assert!(campaign.golden().completed);
+        assert!(campaign.golden().eligible_insts > 0);
+    }
+
+    #[test]
+    fn campaign_recovers_most_faults_at_short_latency() {
+        // The kernel's regions re-arm per loop iteration (~20 dynamic
+        // instructions), so recovery rates track Eq. 7's α: near-certain
+        // at latency ≈ 0, ~50% when the latency matches the region
+        // length.
+        let (m, map, fid) = protected_kernel();
+        let short = SfiConfig { injections: 120, dmax: 2, ..Default::default() };
+        let campaign = SfiCampaign::new(&m, Some(&map), fid, &[Value::Int(32)], &short);
+        let stats = campaign.run(&short);
+        assert_eq!(stats.injections, 120);
+        assert!(stats.recovered > 0, "no recoveries at all: {stats:?}");
+        assert!(
+            stats.safe_fraction() > 0.8,
+            "safe fraction too low at Dmax=2: {stats:?}"
+        );
+
+        let medium = SfiConfig { injections: 120, dmax: 20, ..Default::default() };
+        let med_stats = campaign.run(&medium);
+        assert!(
+            med_stats.safe_fraction() > 0.3,
+            "safe fraction too low at Dmax=20: {med_stats:?}"
+        );
+        // Shorter detection latency must not hurt coverage.
+        assert!(stats.safe_fraction() >= med_stats.safe_fraction());
+    }
+
+    #[test]
+    fn unprotected_module_cannot_rollback() {
+        let mut mb = ModuleBuilder::new("m");
+        let g = mb.global("g", 8);
+        let fid = mb.function("f", 1, |f| {
+            let n = f.param(0);
+            f.for_range(Operand::ImmI(0), n.into(), |f, i| {
+                f.store(AddrExpr::indexed(MemBase::Global(g), i, 1, 0), i.into());
+            });
+            f.ret(None);
+        });
+        let m = mb.finish();
+        let config = SfiConfig { injections: 60, dmax: 10, ..Default::default() };
+        let campaign = SfiCampaign::new(&m, None, fid, &[Value::Int(8)], &config);
+        let stats = campaign.run(&config);
+        assert_eq!(stats.recovered, 0, "nothing to roll back to: {stats:?}");
+        // Faults either vanish (benign), corrupt state, or get detected
+        // without recovery.
+        assert_eq!(
+            stats.benign
+                + stats.silent_corruption
+                + stats.detected_unrecoverable
+                + stats.crashed
+                + stats.hung,
+            60
+        );
+    }
+
+    #[test]
+    fn campaigns_are_reproducible() {
+        let (m, map, fid) = protected_kernel();
+        let config = SfiConfig { injections: 40, seed: 42, ..Default::default() };
+        let campaign = SfiCampaign::new(&m, Some(&map), fid, &[Value::Int(32)], &config);
+        let a = campaign.run(&config);
+        let b = campaign.run(&config);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn deterministic_single_injection() {
+        let (m, map, fid) = protected_kernel();
+        let campaign =
+            SfiCampaign::new(&m, Some(&map), fid, &[Value::Int(32)], &SfiConfig::default());
+        let plan = FaultPlan { inject_at: 10, bit: 5, detect_latency: 3 };
+        let a = campaign.run_one(plan);
+        let b = campaign.run_one(plan);
+        assert_eq!(a, b);
+    }
+}

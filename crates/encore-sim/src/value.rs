@@ -1,0 +1,262 @@
+//! Runtime values and operator evaluation.
+
+use encore_ir::{BinOp, UnOp};
+use std::fmt;
+
+/// A runtime value held in a register or memory cell.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum Value {
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// Pointer: object handle + cell index.
+    Ptr {
+        /// Index into the machine's object table.
+        obj: usize,
+        /// Cell index within the object (may be temporarily out of
+        /// bounds; bounds are checked on dereference).
+        idx: i64,
+    },
+}
+
+impl Value {
+    /// Integer zero — the initial value of registers and memory cells.
+    pub const ZERO: Value = Value::Int(0);
+
+    /// Is this value "truthy" for branches? (nonzero / non-null).
+    pub fn truthy(&self) -> bool {
+        match self {
+            Value::Int(v) => *v != 0,
+            Value::Float(v) => *v != 0.0,
+            Value::Ptr { .. } => true,
+        }
+    }
+
+    /// The integer payload, if any.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The float payload, if any.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Flips bit `bit` (0–63) of the value's 64-bit representation —
+    /// the transient-fault model. Integers and floats flip their payload
+    /// bits; pointers flip a bit of the cell index (corrupting an address
+    /// computation).
+    pub fn flip_bit(self, bit: u8) -> Value {
+        let bit = bit % 64;
+        match self {
+            Value::Int(v) => Value::Int(v ^ (1i64 << bit)),
+            Value::Float(v) => Value::Float(f64::from_bits(v.to_bits() ^ (1u64 << bit))),
+            Value::Ptr { obj, idx } => Value::Ptr { obj, idx: idx ^ (1i64 << (bit % 16)) },
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Ptr { obj, idx } => write!(f, "&obj{obj}[{idx}]"),
+        }
+    }
+}
+
+/// An evaluation error (type confusion, division misuse of pointers, …).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct EvalError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+fn type_err(op: &str, a: &Value, b: Option<&Value>) -> EvalError {
+    let msg = match b {
+        Some(b) => format!("type error: {op} on {a} and {b}"),
+        None => format!("type error: {op} on {a}"),
+    };
+    EvalError { message: msg }
+}
+
+/// Evaluates a binary operation.
+///
+/// Integer ops wrap; division/remainder by zero yield 0 (embedded-style
+/// silent semantics keep fault-injection runs alive); pointers support
+/// `Add`/`Sub` with integers and comparisons against pointers of the same
+/// object.
+///
+/// # Errors
+///
+/// Returns [`EvalError`] on operand-type mismatches the machine cannot
+/// interpret (e.g. float `Add`, pointer `Mul`).
+pub fn eval_bin(op: BinOp, a: Value, b: Value) -> Result<Value, EvalError> {
+    use BinOp::*;
+    use Value::*;
+    Ok(match (op, a, b) {
+        (Add, Int(x), Int(y)) => Int(x.wrapping_add(y)),
+        (Sub, Int(x), Int(y)) => Int(x.wrapping_sub(y)),
+        (Mul, Int(x), Int(y)) => Int(x.wrapping_mul(y)),
+        (Div, Int(x), Int(y)) => Int(if y == 0 { 0 } else { x.wrapping_div(y) }),
+        (Rem, Int(x), Int(y)) => Int(if y == 0 { 0 } else { x.wrapping_rem(y) }),
+        (And, Int(x), Int(y)) => Int(x & y),
+        (Or, Int(x), Int(y)) => Int(x | y),
+        (Xor, Int(x), Int(y)) => Int(x ^ y),
+        (Shl, Int(x), Int(y)) => Int(x.wrapping_shl(y as u32 & 63)),
+        (Shr, Int(x), Int(y)) => Int(x.wrapping_shr(y as u32 & 63)),
+        (Min, Int(x), Int(y)) => Int(x.min(y)),
+        (Max, Int(x), Int(y)) => Int(x.max(y)),
+        (FAdd, Float(x), Float(y)) => Float(x + y),
+        (FSub, Float(x), Float(y)) => Float(x - y),
+        (FMul, Float(x), Float(y)) => Float(x * y),
+        (FDiv, Float(x), Float(y)) => Float(if y == 0.0 { 0.0 } else { x / y }),
+        (Eq, Int(x), Int(y)) => Int((x == y) as i64),
+        (Ne, Int(x), Int(y)) => Int((x != y) as i64),
+        (Lt, Int(x), Int(y)) => Int((x < y) as i64),
+        (Le, Int(x), Int(y)) => Int((x <= y) as i64),
+        (FLt, Float(x), Float(y)) => Int((x < y) as i64),
+        (FLe, Float(x), Float(y)) => Int((x <= y) as i64),
+        // Pointer arithmetic.
+        (Add, Ptr { obj, idx }, Int(y)) => Ptr { obj, idx: idx.wrapping_add(y) },
+        (Add, Int(x), Ptr { obj, idx }) => Ptr { obj, idx: idx.wrapping_add(x) },
+        (Sub, Ptr { obj, idx }, Int(y)) => Ptr { obj, idx: idx.wrapping_sub(y) },
+        (Sub, Ptr { obj: o1, idx: i1 }, Ptr { obj: o2, idx: i2 }) if o1 == o2 => {
+            Int(i1.wrapping_sub(i2))
+        }
+        (Eq, Ptr { obj: o1, idx: i1 }, Ptr { obj: o2, idx: i2 }) => {
+            Int((o1 == o2 && i1 == i2) as i64)
+        }
+        (Ne, Ptr { obj: o1, idx: i1 }, Ptr { obj: o2, idx: i2 }) => {
+            Int((o1 != o2 || i1 != i2) as i64)
+        }
+        (Lt, Ptr { obj: o1, idx: i1 }, Ptr { obj: o2, idx: i2 }) if o1 == o2 => {
+            Int((i1 < i2) as i64)
+        }
+        (Le, Ptr { obj: o1, idx: i1 }, Ptr { obj: o2, idx: i2 }) if o1 == o2 => {
+            Int((i1 <= i2) as i64)
+        }
+        (_, a, b) => return Err(type_err(op.mnemonic(), &a, Some(&b))),
+    })
+}
+
+/// Evaluates a unary operation.
+///
+/// # Errors
+///
+/// Returns [`EvalError`] on operand-type mismatches.
+pub fn eval_un(op: UnOp, a: Value) -> Result<Value, EvalError> {
+    use UnOp::*;
+    use Value::*;
+    Ok(match (op, a) {
+        (Neg, Int(x)) => Int(x.wrapping_neg()),
+        (Not, Int(x)) => Int(!x),
+        (Abs, Int(x)) => Int(x.wrapping_abs()),
+        (FNeg, Float(x)) => Float(-x),
+        (FSqrt, Float(x)) => Float(x.abs().sqrt()),
+        (IToF, Int(x)) => Float(x as f64),
+        (FToI, Float(x)) => Int(if x.is_nan() {
+            0
+        } else {
+            x.clamp(i64::MIN as f64, i64::MAX as f64) as i64
+        }),
+        (_, a) => return Err(type_err(op.mnemonic(), &a, None)),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_arithmetic() {
+        assert_eq!(eval_bin(BinOp::Add, Value::Int(2), Value::Int(3)).unwrap(), Value::Int(5));
+        assert_eq!(eval_bin(BinOp::Div, Value::Int(7), Value::Int(0)).unwrap(), Value::Int(0));
+        assert_eq!(
+            eval_bin(BinOp::Mul, Value::Int(i64::MAX), Value::Int(2)).unwrap(),
+            Value::Int(i64::MAX.wrapping_mul(2))
+        );
+        assert_eq!(eval_bin(BinOp::Min, Value::Int(3), Value::Int(-1)).unwrap(), Value::Int(-1));
+    }
+
+    #[test]
+    fn comparisons_yield_bool_ints() {
+        assert_eq!(eval_bin(BinOp::Lt, Value::Int(1), Value::Int(2)).unwrap(), Value::Int(1));
+        assert_eq!(eval_bin(BinOp::Lt, Value::Int(2), Value::Int(2)).unwrap(), Value::Int(0));
+        assert_eq!(
+            eval_bin(BinOp::FLe, Value::Float(1.5), Value::Float(1.5)).unwrap(),
+            Value::Int(1)
+        );
+    }
+
+    #[test]
+    fn pointer_arithmetic() {
+        let p = Value::Ptr { obj: 3, idx: 4 };
+        assert_eq!(
+            eval_bin(BinOp::Add, p, Value::Int(2)).unwrap(),
+            Value::Ptr { obj: 3, idx: 6 }
+        );
+        let q = Value::Ptr { obj: 3, idx: 10 };
+        assert_eq!(eval_bin(BinOp::Sub, q, p).unwrap(), Value::Int(6));
+        assert_eq!(eval_bin(BinOp::Lt, p, q).unwrap(), Value::Int(1));
+    }
+
+    #[test]
+    fn cross_object_pointer_compare_is_error() {
+        let p = Value::Ptr { obj: 1, idx: 0 };
+        let q = Value::Ptr { obj: 2, idx: 0 };
+        assert!(eval_bin(BinOp::Lt, p, q).is_err());
+        // Eq/Ne are fine across objects.
+        assert_eq!(eval_bin(BinOp::Eq, p, q).unwrap(), Value::Int(0));
+    }
+
+    #[test]
+    fn type_mismatch_errors() {
+        assert!(eval_bin(BinOp::Add, Value::Float(1.0), Value::Int(1)).is_err());
+        assert!(eval_bin(BinOp::FAdd, Value::Int(1), Value::Int(1)).is_err());
+        assert!(eval_un(UnOp::FSqrt, Value::Int(4)).is_err());
+    }
+
+    #[test]
+    fn unary_ops() {
+        assert_eq!(eval_un(UnOp::Neg, Value::Int(5)).unwrap(), Value::Int(-5));
+        assert_eq!(eval_un(UnOp::IToF, Value::Int(2)).unwrap(), Value::Float(2.0));
+        assert_eq!(eval_un(UnOp::FToI, Value::Float(3.9)).unwrap(), Value::Int(3));
+        assert_eq!(eval_un(UnOp::FToI, Value::Float(f64::NAN)).unwrap(), Value::Int(0));
+        assert_eq!(eval_un(UnOp::Abs, Value::Int(-3)).unwrap(), Value::Int(3));
+    }
+
+    #[test]
+    fn bit_flip_changes_and_restores() {
+        let v = Value::Int(42);
+        let f = v.flip_bit(3);
+        assert_ne!(v, f);
+        assert_eq!(f.flip_bit(3), v);
+        let fl = Value::Float(1.5).flip_bit(52);
+        assert_ne!(fl, Value::Float(1.5));
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(!Value::Int(0).truthy());
+        assert!(Value::Int(-1).truthy());
+        assert!(!Value::Float(0.0).truthy());
+        assert!(Value::Ptr { obj: 0, idx: 0 }.truthy());
+    }
+}

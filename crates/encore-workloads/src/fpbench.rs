@@ -1,0 +1,306 @@
+//! SPEC2000 floating-point stand-in kernels.
+//!
+//! FP codes stream through distinct input/output arrays far more than
+//! the integer suite, which is exactly why the paper finds them spending
+//! more dynamic time in naturally idempotent regions (§5.2): 172.mgrid
+//! is a pure stencil, 173.applu a sweep with one cheap scalar WAR,
+//! 177.mesa a vertex pipeline with an in-place depth buffer (expensive
+//! to checkpoint), 179.art a winner-take-all network with a narrow
+//! weight update, and 183.equake a sparse matvec with a residual
+//! accumulator.
+
+use crate::util::{emit_cold_diag, lcg_data};
+use encore_ir::{AddrExpr, BinOp, FuncId, MemBase, Module, ModuleBuilder, Operand, UnOp};
+
+fn float_init(seed: u64, len: usize) -> Vec<i64> {
+    // Integer initializers; kernels convert with IToF on load paths where
+    // float math matters.
+    lcg_data(seed, len, 1000)
+}
+
+/// 172.mgrid — multigrid smoother: two Jacobi-style relaxation passes
+/// `u → r → v` over disjoint buffers plus a write-only residual. No WAR
+/// anywhere: the paper's fully-idempotent, full-coverage workload.
+pub fn build_mgrid() -> (Module, FuncId) {
+    const N: usize = 128;
+    let mut mb = ModuleBuilder::new("172.mgrid");
+    let u = mb.global_init("u", N as u32, float_init(172, N));
+    let r = mb.global("r", N as u32);
+    let v = mb.global("v", N as u32);
+    let res = mb.global("residual", 1);
+    let entry = mb.function("smooth", 1, |f| {
+        let n = f.param(0);
+        let hi = f.bin(BinOp::Sub, n.into(), Operand::ImmI(1));
+        // Pass 1: r[i] = (u[i-1] + 2*u[i] + u[i+1]) / 4
+        f.for_range(Operand::ImmI(1), hi.into(), |f, i| {
+            let a = f.load(AddrExpr::indexed(MemBase::Global(u), i, 1, -1));
+            let b = f.load(AddrExpr::indexed(MemBase::Global(u), i, 1, 0));
+            let c = f.load(AddrExpr::indexed(MemBase::Global(u), i, 1, 1));
+            let b2 = f.bin(BinOp::Mul, b.into(), Operand::ImmI(2));
+            let s0 = f.bin(BinOp::Add, a.into(), b2.into());
+            let s1 = f.bin(BinOp::Add, s0.into(), c.into());
+            let avg = f.bin(BinOp::Div, s1.into(), Operand::ImmI(4));
+            f.store(AddrExpr::indexed(MemBase::Global(r), i, 1, 0), avg.into());
+        });
+        // Pass 2: v[i] = (r[i-1] + r[i+1]) / 2, accumulate residual in a
+        // register, store it once (write-only, still idempotent).
+        let acc = f.mov(Operand::ImmI(0));
+        f.for_range(Operand::ImmI(1), hi.into(), |f, i| {
+            let a = f.load(AddrExpr::indexed(MemBase::Global(r), i, 1, -1));
+            let c = f.load(AddrExpr::indexed(MemBase::Global(r), i, 1, 1));
+            let s = f.bin(BinOp::Add, a.into(), c.into());
+            let avg = f.bin(BinOp::Div, s.into(), Operand::ImmI(2));
+            f.store(AddrExpr::indexed(MemBase::Global(v), i, 1, 0), avg.into());
+            let d = f.bin(BinOp::Sub, avg.into(), a.into());
+            let ad = f.un(UnOp::Abs, d.into());
+            f.bin_to(acc, BinOp::Add, acc.into(), ad.into());
+            emit_cold_diag(f, acc, 1 << 40); // solver divergence, never hit
+        });
+        f.store(AddrExpr::global(res, 0), acc.into());
+        f.ret(Some(acc.into()));
+    });
+    (mb.finish(), entry)
+}
+
+/// 173.applu — SSOR-style sweep: streaming lower/upper relaxation into a
+/// separate buffer plus one constant-address norm accumulator updated in
+/// place (a single cheap memory checkpoint).
+pub fn build_applu() -> (Module, FuncId) {
+    const N: usize = 128;
+    let mut mb = ModuleBuilder::new("173.applu");
+    let a = mb.global_init("a", N as u32, float_init(173, N));
+    let b = mb.global_init("b", N as u32, float_init(174, N));
+    let x = mb.global("x", N as u32);
+    let norm = mb.global("norm", 1);
+    let entry = mb.function("ssor", 1, |f| {
+        let n = f.param(0);
+        let hi = f.bin(BinOp::Sub, n.into(), Operand::ImmI(1));
+        // Unrolled 2× (like -O3), with a 5-point update per element: the
+        // lone WAR is the constant-address norm accumulator.
+        f.for_range_by(Operand::ImmI(1), hi.into(), 2, |f, i| {
+            let mut acc: Option<encore_ir::Reg> = None;
+            for u in 0..2i64 {
+                let ai = f.load(AddrExpr::indexed(MemBase::Global(a), i, 1, u));
+                let al = f.load(AddrExpr::indexed(MemBase::Global(a), i, 1, u - 1));
+                let au_ = f.load(AddrExpr::indexed(MemBase::Global(a), i, 1, u + 1));
+                let bl = f.load(AddrExpr::indexed(MemBase::Global(b), i, 1, u - 1));
+                let bu = f.load(AddrExpr::indexed(MemBase::Global(b), i, 1, u + 1));
+                let s = f.bin(BinOp::Add, bl.into(), bu.into());
+                let neigh = f.bin(BinOp::Add, al.into(), au_.into());
+                let t0 = f.bin(BinOp::Mul, ai.into(), Operand::ImmI(5));
+                let t1 = f.bin(BinOp::Sub, t0.into(), s.into());
+                let t2 = f.bin(BinOp::Sub, t1.into(), neigh.into());
+                let relaxed = f.bin(BinOp::Div, t2.into(), Operand::ImmI(2));
+                f.store(AddrExpr::indexed(MemBase::Global(x), i, 1, u), relaxed.into());
+                let av = f.un(UnOp::Abs, relaxed.into());
+                acc = Some(match acc {
+                    None => av,
+                    Some(prev) => f.bin(BinOp::Add, prev.into(), av.into()),
+                });
+            }
+            // In-place norm update: the lone WAR (constant address).
+            let nv = f.load(AddrExpr::global(norm, 0));
+            let nv2 = f.bin(BinOp::Add, nv.into(), acc.expect("accumulated").into());
+            f.store(AddrExpr::global(norm, 0), nv2.into());
+        });
+        let out = f.load(AddrExpr::global(norm, 0));
+        f.ret(Some(out.into()));
+    });
+    (mb.finish(), entry)
+}
+
+/// 177.mesa — vertex transform + depth test: streaming matrix transform
+/// of a vertex array, then an in-place `zbuf[i] = min(zbuf[i], z)` depth
+/// update — a WAR on a *dynamic* index executed every iteration, which
+/// makes full protection blow the overhead budget (mesa is one of the
+/// paper's budget-limited workloads).
+pub fn build_mesa() -> (Module, FuncId) {
+    const N: usize = 96;
+    let mut mb = ModuleBuilder::new("177.mesa");
+    // Mesa-style vertex *arena*: input vertices occupy cells [0, 3N), the
+    // transformed output [3N, 6N) of the same allocation — the classic C
+    // idiom a conservative static alias analysis cannot separate (every
+    // output store *may* alias every input load), but that dynamic
+    // memory profiling proves disjoint (the paper's §5.3 story).
+    const OUT_BASE: i64 = 3 * N as i64;
+    let mut arena_init = float_init(177, 3 * N);
+    arena_init.resize(6 * N, 0);
+    let varena = mb.global_init("vertex_arena", (6 * N) as u32, arena_init);
+    let mat = mb.global_init("mat", 9, vec![2, 0, 1, 0, 2, 0, 1, 0, 2]);
+    let zbuf = mb.global_init("zbuf", N as u32, vec![100_000; N]);
+    let entry = mb.function("transform", 1, |f| {
+        let n = f.param(0);
+        f.for_range(Operand::ImmI(0), n.into(), |f, i| {
+            let base = f.bin(BinOp::Mul, i.into(), Operand::ImmI(3));
+            let vx = f.load(AddrExpr::indexed(MemBase::Global(varena), base, 1, 0));
+            let vy = f.load(AddrExpr::indexed(MemBase::Global(varena), base, 1, 1));
+            let vz = f.load(AddrExpr::indexed(MemBase::Global(varena), base, 1, 2));
+            // Row-major 3x3 multiply with constant matrix loads.
+            let mut outs = Vec::new();
+            for row in 0..3i64 {
+                let m0 = f.load(AddrExpr::global(mat, row * 3));
+                let m1 = f.load(AddrExpr::global(mat, row * 3 + 1));
+                let m2 = f.load(AddrExpr::global(mat, row * 3 + 2));
+                let p0 = f.bin(BinOp::Mul, m0.into(), vx.into());
+                let p1 = f.bin(BinOp::Mul, m1.into(), vy.into());
+                let p2 = f.bin(BinOp::Mul, m2.into(), vz.into());
+                let s0 = f.bin(BinOp::Add, p0.into(), p1.into());
+                let s1 = f.bin(BinOp::Add, s0.into(), p2.into());
+                f.store(
+                    AddrExpr::indexed(MemBase::Global(varena), base, 1, OUT_BASE + row),
+                    s1.into(),
+                );
+                outs.push(s1);
+            }
+            // Depth test: in-place min on a dynamic index.
+            let z = outs[2];
+            let old = f.load(AddrExpr::indexed(MemBase::Global(zbuf), i, 1, 0));
+            let mn = f.bin(BinOp::Min, old.into(), z.into());
+            emit_cold_diag(f, mn, 1 << 40); // depth-range assert, never hit
+            f.store(AddrExpr::indexed(MemBase::Global(zbuf), i, 1, 0), mn.into());
+        });
+        let z0 = f.load(AddrExpr::global(zbuf, 0));
+        f.ret(Some(z0.into()));
+    });
+    (mb.finish(), entry)
+}
+
+/// 179.art — adaptive-resonance F1 layer: dense read-only dot products
+/// into a separate activation array, a register-held winner search, and
+/// a narrow in-place weight update restricted to the winning row.
+pub fn build_art() -> (Module, FuncId) {
+    const NEURONS: i64 = 16;
+    const K: i64 = 24;
+    let mut mb = ModuleBuilder::new("179.art");
+    let w = mb.global_init("weights", (NEURONS * K) as u32, float_init(179, (NEURONS * K) as usize));
+    let input = mb.global_init("input", K as u32, float_init(180, K as usize));
+    let act = mb.global("act", NEURONS as u32);
+    let entry = mb.function("f1_layer", 1, |f| {
+        let rounds = f.param(0);
+        let winner = f.mov(Operand::ImmI(0));
+        f.for_range(Operand::ImmI(0), rounds.into(), |f, _round| {
+            // Dot products (pure streaming), unrolled 4× like -O3 output
+            // so per-iteration instrumentation amortizes realistically.
+            f.for_range(Operand::ImmI(0), Operand::ImmI(NEURONS), |f, j| {
+                let net = f.mov(Operand::ImmI(0));
+                let row = f.bin(BinOp::Mul, j.into(), Operand::ImmI(K));
+                f.for_range_by(Operand::ImmI(0), Operand::ImmI(K), 4, |f, k| {
+                    let base = f.bin(BinOp::Add, row.into(), k.into());
+                    for u in 0..4i64 {
+                        let wv = f.load(AddrExpr::indexed(MemBase::Global(w), base, 1, u));
+                        let iv = f.load(AddrExpr::indexed(MemBase::Global(input), k, 1, u));
+                        let p = f.bin(BinOp::Mul, wv.into(), iv.into());
+                        f.bin_to(net, BinOp::Add, net.into(), p.into());
+                    }
+                });
+                f.store(AddrExpr::indexed(MemBase::Global(act), j, 1, 0), net.into());
+            });
+            // Winner search in registers.
+            let bestv = f.mov(Operand::ImmI(i64::MIN));
+            f.mov_to(winner, Operand::ImmI(0));
+            f.for_range(Operand::ImmI(0), Operand::ImmI(NEURONS), |f, j| {
+                let av = f.load(AddrExpr::indexed(MemBase::Global(act), j, 1, 0));
+                let better = f.bin(BinOp::Lt, bestv.into(), av.into());
+                f.if_then(better.into(), |f| {
+                    f.mov_to(bestv, av.into());
+                    f.mov_to(winner, j.into());
+                });
+            });
+            emit_cold_diag(f, bestv, 1 << 40); // saturated activation, never hit
+            // Narrow weight update on the winner row (in-place WARs).
+            let row = f.bin(BinOp::Mul, winner.into(), Operand::ImmI(K));
+            f.for_range(Operand::ImmI(0), Operand::ImmI(K), |f, k| {
+                let idx = f.bin(BinOp::Add, row.into(), k.into());
+                let wv = f.load(AddrExpr::indexed(MemBase::Global(w), idx, 1, 0));
+                let iv = f.load(AddrExpr::indexed(MemBase::Global(input), k, 1, 0));
+                let s = f.bin(BinOp::Add, wv.into(), iv.into());
+                let upd = f.bin(BinOp::Div, s.into(), Operand::ImmI(2));
+                f.store(AddrExpr::indexed(MemBase::Global(w), idx, 1, 0), upd.into());
+            });
+        });
+        f.ret(Some(winner.into()));
+    });
+    (mb.finish(), entry)
+}
+
+/// 183.equake — sparse matrix–vector product: CSR-style streaming reads
+/// with writes to a distinct result vector and a single constant-address
+/// residual WAR.
+pub fn build_equake() -> (Module, FuncId) {
+    const ROWS: i64 = 48;
+    const NNZ_PER_ROW: i64 = 4;
+    let mut mb = ModuleBuilder::new("183.equake");
+    let nnz = (ROWS * NNZ_PER_ROW) as usize;
+    // FEM-style arena: matrix values at [0, nnz), the solution vector at
+    // [nnz, nnz+ROWS), the result at [nnz+ROWS, nnz+2·ROWS). The result
+    // stores only *may* alias the value/vector loads statically; dynamic
+    // profiling (and the optimistic bound) prove them disjoint.
+    const X_BASE: i64 = ROWS * NNZ_PER_ROW;
+    const Y_BASE: i64 = X_BASE + ROWS;
+    let cols = mb.global_init("cols", nnz as u32, lcg_data(183, nnz, ROWS));
+    let mut arena_init = float_init(184, nnz);
+    arena_init.extend(float_init(185, ROWS as usize));
+    arena_init.resize((Y_BASE + ROWS) as usize, 0);
+    let fem = mb.global_init("fem_arena", (Y_BASE + ROWS) as u32, arena_init);
+    let resid = mb.global("resid", 1);
+    let entry = mb.function("spmv", 1, |f| {
+        let sweeps = f.param(0);
+        f.for_range(Operand::ImmI(0), sweeps.into(), |f, _s| {
+            f.for_range(Operand::ImmI(0), Operand::ImmI(ROWS), |f, row| {
+                let acc = f.mov(Operand::ImmI(0));
+                let base = f.bin(BinOp::Mul, row.into(), Operand::ImmI(NNZ_PER_ROW));
+                f.for_range(Operand::ImmI(0), Operand::ImmI(NNZ_PER_ROW), |f, k| {
+                    let idx = f.bin(BinOp::Add, base.into(), k.into());
+                    let c = f.load(AddrExpr::indexed(MemBase::Global(cols), idx, 1, 0));
+                    let v = f.load(AddrExpr::indexed(MemBase::Global(fem), idx, 1, 0));
+                    let xv = f.load(AddrExpr::indexed(MemBase::Global(fem), c, 1, X_BASE));
+                    let p = f.bin(BinOp::Mul, v.into(), xv.into());
+                    f.bin_to(acc, BinOp::Add, acc.into(), p.into());
+                });
+                f.store(AddrExpr::indexed(MemBase::Global(fem), row, 1, Y_BASE), acc.into());
+                emit_cold_diag(f, acc, 1 << 40); // overflow guard, never hit
+                // Residual accumulation: the lone WAR.
+                let r = f.load(AddrExpr::global(resid, 0));
+                let aa = f.un(UnOp::Abs, acc.into());
+                let r2 = f.bin(BinOp::Add, r.into(), aa.into());
+                f.store(AddrExpr::global(resid, 0), r2.into());
+            });
+        });
+        let out = f.load(AddrExpr::global(resid, 0));
+        f.ret(Some(out.into()));
+    });
+    (mb.finish(), entry)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use encore_ir::verify_module;
+
+    #[test]
+    fn all_fp_kernels_verify() {
+        for (m, entry) in [
+            build_mgrid(),
+            build_applu(),
+            build_mesa(),
+            build_art(),
+            build_equake(),
+        ] {
+            verify_module(&m).unwrap_or_else(|e| panic!("{}: {:?}", m.name, e));
+            assert_eq!(m.func(entry).param_count, 1);
+        }
+    }
+
+    #[test]
+    fn mgrid_has_no_store_to_input_buffer() {
+        // The smoother must stream u -> r -> v (no in-place updates).
+        let (m, entry) = build_mgrid();
+        let u = encore_ir::GlobalId::new(0);
+        let stores_to_u = m.func(entry).iter_insts().any(|(_, i)| {
+            i.store_addr()
+                .map(|a| a.base == MemBase::Global(u))
+                .unwrap_or(false)
+        });
+        assert!(!stores_to_u);
+    }
+}

@@ -1,0 +1,192 @@
+//! # encore-workloads
+//!
+//! Synthetic stand-ins for the evaluation workloads of the Encore paper
+//! (Feng et al., MICRO 2011): six SPEC2000-integer, five
+//! SPEC2000-floating-point and twelve Mediabench kernels, written
+//! against the [`encore_ir`] builder.
+//!
+//! The real benchmarks cannot be compiled onto our from-scratch IR, so
+//! each kernel reproduces the *memory-update structure* that determines
+//! idempotence behavior — hash-table and counter read-modify-writes in
+//! the integer codes, buffer-to-buffer streaming in the FP codes,
+//! block transforms with small codec state in the media codes — which is
+//! the property the paper's figures actually measure. See `DESIGN.md`
+//! §2 for the substitution argument.
+//!
+//! # Examples
+//!
+//! ```
+//! let workloads = encore_workloads::all();
+//! assert_eq!(workloads.len(), 23);
+//! let gzip = encore_workloads::by_name("164.gzip").unwrap();
+//! assert_eq!(gzip.suite, encore_workloads::Suite::Spec2kInt);
+//! encore_ir::verify_module(&gzip.module).unwrap();
+//! ```
+
+#![warn(missing_docs)]
+
+mod fpbench;
+mod intbench;
+mod mediabench;
+mod util;
+
+pub use util::lcg_data;
+
+use encore_ir::{FuncId, Module};
+
+/// Benchmark suite grouping (the paper's three column groups).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Suite {
+    /// SPEC2000 integer.
+    Spec2kInt,
+    /// SPEC2000 floating point.
+    Spec2kFp,
+    /// Mediabench.
+    Mediabench,
+}
+
+impl Suite {
+    /// Display label matching the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Suite::Spec2kInt => "SPEC2K-INT",
+            Suite::Spec2kFp => "SPEC2K-FP",
+            Suite::Mediabench => "MEDIABENCH",
+        }
+    }
+
+    /// All suites in figure order.
+    pub fn all() -> [Suite; 3] {
+        [Suite::Spec2kInt, Suite::Spec2kFp, Suite::Mediabench]
+    }
+}
+
+impl std::fmt::Display for Suite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One benchmark: a module, its entry point and its inputs.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Benchmark name (paper spelling, e.g. `"164.gzip"`).
+    pub name: &'static str,
+    /// Suite the benchmark belongs to.
+    pub suite: Suite,
+    /// One-line description of the modeled kernel.
+    pub description: &'static str,
+    /// The IR module.
+    pub module: Module,
+    /// Entry function (takes one integer size/iteration parameter).
+    pub entry: FuncId,
+    /// Entry argument for profiling (training) runs.
+    pub train_arg: i64,
+    /// Entry argument for evaluation runs.
+    pub eval_arg: i64,
+}
+
+macro_rules! workload {
+    ($name:literal, $suite:expr, $desc:literal, $builder:path, $train:literal, $eval:literal) => {{
+        let (module, entry) = $builder();
+        Workload {
+            name: $name,
+            suite: $suite,
+            description: $desc,
+            module,
+            entry,
+            train_arg: $train,
+            eval_arg: $eval,
+        }
+    }};
+}
+
+/// Builds all 23 workloads in the paper's figure order.
+pub fn all() -> Vec<Workload> {
+    use Suite::*;
+    vec![
+        workload!("164.gzip", Spec2kInt, "LZ hash-chain compressor", intbench::build_gzip, 128, 254),
+        workload!("175.vpr", Spec2kInt, "annealing placement with one-time allocation", intbench::build_vpr, 200, 400),
+        workload!("181.mcf", Spec2kInt, "in-place network-simplex relaxation", intbench::build_mcf, 4, 8),
+        workload!("197.parser", Spec2kInt, "tokenizer with dictionary counters", intbench::build_parser, 128, 256),
+        workload!("256.bzip2", Spec2kInt, "move-to-front coder", intbench::build_bzip2, 96, 192),
+        workload!("300.twolf", Spec2kInt, "cell-placement refinement", intbench::build_twolf, 200, 400),
+        workload!("172.mgrid", Spec2kFp, "multigrid stencil smoother", fpbench::build_mgrid, 64, 128),
+        workload!("173.applu", Spec2kFp, "SSOR sweep with norm accumulator", fpbench::build_applu, 64, 128),
+        workload!("177.mesa", Spec2kFp, "vertex transform with depth buffer", fpbench::build_mesa, 48, 96),
+        workload!("179.art", Spec2kFp, "ART winner-take-all network", fpbench::build_art, 3, 6),
+        workload!("183.equake", Spec2kFp, "sparse matvec with residual", fpbench::build_equake, 4, 8),
+        workload!("cjpeg", Mediabench, "forward block transform + quantize", mediabench::build_cjpeg, 12, 24),
+        workload!("djpeg", Mediabench, "dequantize + inverse block transform", mediabench::build_djpeg, 12, 24),
+        workload!("epic", Mediabench, "image-pyramid analysis (aliased offsets)", mediabench::build_epic, 64, 128),
+        workload!("unepic", Mediabench, "image-pyramid synthesis", mediabench::build_unepic, 64, 128),
+        workload!("g721encode", Mediabench, "ADPCM encoder, 4-tap predictor", mediabench::build_g721encode, 128, 256),
+        workload!("g721decode", Mediabench, "ADPCM decoder, 4-tap predictor", mediabench::build_g721decode, 128, 256),
+        workload!("mpeg2dec", Mediabench, "motion compensation", mediabench::build_mpeg2dec, 96, 192),
+        workload!("mpeg2enc", Mediabench, "SAD motion estimation", mediabench::build_mpeg2enc, 4, 8),
+        workload!("pegwitdec", Mediabench, "chained block decryption", mediabench::build_pegwitdec, 24, 48),
+        workload!("pegwitenc", Mediabench, "chained block encryption", mediabench::build_pegwitenc, 24, 48),
+        workload!("rawcaudio", Mediabench, "2-tap ADPCM encoder", mediabench::build_rawcaudio, 128, 256),
+        workload!("rawdaudio", Mediabench, "2-tap ADPCM decoder", mediabench::build_rawdaudio, 128, 256),
+    ]
+}
+
+/// Builds the workload named `name` (paper spelling).
+pub fn by_name(name: &str) -> Option<Workload> {
+    all().into_iter().find(|w| w.name == name)
+}
+
+/// Names of all workloads, in figure order.
+pub fn names() -> Vec<&'static str> {
+    all().iter().map(|w| w.name).collect()
+}
+
+/// All workloads belonging to `suite`, in figure order.
+pub fn by_suite(suite: Suite) -> Vec<Workload> {
+    all().into_iter().filter(|w| w.suite == suite).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use encore_ir::verify_module;
+
+    #[test]
+    fn twenty_three_workloads() {
+        let ws = all();
+        assert_eq!(ws.len(), 23);
+        assert_eq!(by_suite(Suite::Spec2kInt).len(), 6);
+        assert_eq!(by_suite(Suite::Spec2kFp).len(), 5);
+        assert_eq!(by_suite(Suite::Mediabench).len(), 12);
+    }
+
+    #[test]
+    fn all_verify_and_have_unique_names() {
+        let ws = all();
+        let mut names = std::collections::BTreeSet::new();
+        for w in &ws {
+            verify_module(&w.module).unwrap_or_else(|e| panic!("{}: {:?}", w.name, e));
+            assert!(names.insert(w.name), "duplicate workload {}", w.name);
+            assert!(w.train_arg > 0 && w.eval_arg > 0);
+            assert!(w.train_arg < w.eval_arg, "{}: train must be smaller", w.name);
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(by_name("rawcaudio").is_some());
+        assert!(by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn modules_are_nontrivial() {
+        for w in all() {
+            assert!(
+                w.module.static_inst_count() >= 20,
+                "{} too small: {} insts",
+                w.name,
+                w.module.static_inst_count()
+            );
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Shared helpers for workload construction.
+
+use encore_ir::{BinOp, ExtEffect, FunctionBuilder, Operand, Reg};
+
+/// Emits a never-taken diagnostic path: `if v > threshold { opaque
+/// diagnostic call }`.
+///
+/// Real benchmarks are full of error handling that profiling inputs never
+/// reach; these blocks are what makes regions *Unknown* (un-analyzable
+/// call) under `Pmin = ∅` and what the paper's `Pmin = 0.0` pruning
+/// removes "without incurring any measurable risk" (§5.1). The threshold
+/// must be unreachable for the workload's data ranges.
+pub fn emit_cold_diag(f: &mut FunctionBuilder<'_>, v: Reg, threshold: i64) {
+    let bad = f.bin(BinOp::Lt, Operand::ImmI(threshold), v.into());
+    f.if_then(bad.into(), |f| {
+        f.call_ext_void("print_i64", &[v.into()], ExtEffect::Opaque);
+    });
+}
+
+/// Deterministic pseudo-random data for global initializers (xorshift64*;
+/// no dependency on the simulator's PRNG so initial memory images are
+/// stable across crates).
+pub fn lcg_data(seed: u64, len: usize, modulo: i64) -> Vec<i64> {
+    let mut x = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493) | 1;
+    let m = modulo.max(1);
+    (0..len)
+        .map(|_| {
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            (x.wrapping_mul(0x2545F4914F6CDD1D) >> 33) as i64 % m
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_bounded() {
+        let a = lcg_data(7, 100, 256);
+        let b = lcg_data(7, 100, 256);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|v| (0..256).contains(v)));
+        let c = lcg_data(8, 100, 256);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn modulo_floor_is_one() {
+        let d = lcg_data(1, 10, 0);
+        assert!(d.iter().all(|v| *v == 0));
+    }
+}

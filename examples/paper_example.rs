@@ -1,0 +1,93 @@
+//! The paper's Figure 4 worked example, reconstructed instruction by
+//! instruction: eight basic blocks, four syntactic WAR pairs (#, ⋆, @, +)
+//! of which exactly one — loads of `B` against store 10 — survives the
+//! RS/GA/EA analysis, so CP = {instruction 10}.
+//!
+//! Run with `cargo run --example paper_example`.
+
+use encore::analysis::StaticAlias;
+use encore::core::idempotence::{IdempotenceAnalyzer, RegionSpec};
+use encore::ir::{AddrExpr, ModuleBuilder, Operand};
+
+fn main() {
+    let mut mb = ModuleBuilder::new("fig4");
+    let ga = mb.global("A", 1);
+    let gb = mb.global("B", 1);
+    let gc = mb.global("C", 1);
+    let a = AddrExpr::global(ga, 0);
+    let b = AddrExpr::global(gb, 0);
+    let c = AddrExpr::global(gc, 0);
+
+    let fid = mb.function("fig4", 1, |f| {
+        let p = f.param(0);
+        let bb2 = f.add_block();
+        let bb3 = f.add_block();
+        let bb4 = f.add_block();
+        let bb5 = f.add_block();
+        let bb6 = f.add_block();
+        let bb7 = f.add_block();
+        let bb8 = f.add_block();
+        // bb1:  1: Store A
+        f.store(a, Operand::ImmI(1));
+        f.branch(p.into(), bb2, bb3);
+        // bb2:  2: Store B ; 3: Store C
+        f.switch_to(bb2);
+        f.store(b, Operand::ImmI(2));
+        f.store(c, Operand::ImmI(3));
+        f.jump(bb5);
+        // bb3:  4: Load A ; 5: Store C       (# pair with 9)
+        f.switch_to(bb3);
+        let v4 = f.load(a);
+        f.store(c, v4.into());
+        f.jump(bb4);
+        // bb4:  6: Load B
+        f.switch_to(bb4);
+        let v6 = f.load(b);
+        f.branch(v6.into(), bb5, bb6);
+        // bb5:  7: Load B                    (⋆ pair with 10)
+        f.switch_to(bb5);
+        let v7 = f.load(b);
+        f.branch(v7.into(), bb7, bb8);
+        // bb6:  8: Load C                    (@ pair with 12)
+        f.switch_to(bb6);
+        let v8 = f.load(c);
+        f.branch(v8.into(), bb7, bb8);
+        // bb7:  9: Store A ; 10: Store B ; 11: Load C   (+ pair with 12)
+        f.switch_to(bb7);
+        f.store(a, Operand::ImmI(9));
+        f.store(b, Operand::ImmI(10));
+        let _v11 = f.load(c);
+        f.ret(None);
+        // bb8: 12: Store C
+        f.switch_to(bb8);
+        f.store(c, Operand::ImmI(12));
+        f.ret(None);
+    });
+    let module = mb.finish();
+    println!("the region under analysis:\n{}", module.func(fid));
+
+    let oracle = StaticAlias;
+    let analyzer = IdempotenceAnalyzer::new(&module, &oracle);
+    let spec = RegionSpec {
+        func: fid,
+        header: module.func(fid).entry(),
+        blocks: module.func(fid).block_ids().collect(),
+    };
+    let result = analyzer.analyze_region(&spec, &|_| false);
+
+    println!("verdict: {:?}", result.verdict);
+    println!("surviving WAR hazards:");
+    for v in &result.violations {
+        println!("  load {} ({:?}) vs store {} ({})", v.load.at, v.load.addr, v.store.at, v.store.addr);
+    }
+    println!("checkpoint set CP:");
+    for cp in &result.cp {
+        println!("  store at {} to {}", cp.at, cp.addr);
+    }
+    println!(
+        "\nAs in the paper: of the four syntactic WAR pairs, only the ⋆ pair\n\
+         (loads of B at bb4/bb5 against store 10) requires a checkpoint —\n\
+         A is guarded by store 1 on all paths, C by stores 3/5, and store 12\n\
+         is unreachable from load 11."
+    );
+}

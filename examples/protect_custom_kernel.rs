@@ -1,0 +1,75 @@
+//! Protecting your own code: build a kernel with the IR builder, inspect
+//! the idempotence analysis, and see exactly which stores Encore
+//! checkpoints and why.
+//!
+//! Run with `cargo run --example protect_custom_kernel`.
+
+use encore::core::{Encore, EncoreConfig};
+use encore::ir::{AddrExpr, BinOp, MemBase, ModuleBuilder, Operand};
+use encore::sim::{run_function, RunConfig, Value};
+
+fn main() {
+    // A histogram kernel: `hist[data[i]] += 1` — the canonical WAR
+    // (read-modify-write through a dynamic index), plus an idempotent
+    // normalization pass that streams into a separate buffer.
+    let mut mb = ModuleBuilder::new("custom");
+    let data = mb.global_init("data", 128, (0..128).map(|i| (i * 7) % 16).collect());
+    let hist = mb.global("hist", 16);
+    let norm = mb.global("norm", 16);
+    let entry = mb.function("histogram", 1, |f| {
+        let n = f.param(0);
+        f.for_range(Operand::ImmI(0), n.into(), |f, i| {
+            let v = f.load(AddrExpr::indexed(MemBase::Global(data), i, 1, 0));
+            let count = f.load(AddrExpr::indexed(MemBase::Global(hist), v, 1, 0));
+            let next = f.bin(BinOp::Add, count.into(), Operand::ImmI(1));
+            f.store(AddrExpr::indexed(MemBase::Global(hist), v, 1, 0), next.into());
+        });
+        f.for_range(Operand::ImmI(0), Operand::ImmI(16), |f, b| {
+            let c = f.load(AddrExpr::indexed(MemBase::Global(hist), b, 1, 0));
+            let scaled = f.bin(BinOp::Mul, c.into(), Operand::ImmI(100));
+            let pct = f.bin(BinOp::Div, scaled.into(), n.into());
+            f.store(AddrExpr::indexed(MemBase::Global(norm), b, 1, 0), pct.into());
+        });
+        let top = f.load(AddrExpr::global(norm, 0));
+        f.ret(Some(top.into()));
+    });
+    let module = mb.finish();
+    encore::ir::verify_module(&module).expect("valid IR");
+
+    // Profile, then run the pipeline with a generous budget so every
+    // protectable region is instrumented.
+    let train = run_function(
+        &module,
+        None,
+        entry,
+        &[Value::Int(64)],
+        &RunConfig { collect_profile: true, ..Default::default() },
+    );
+    let config = EncoreConfig::default().with_overhead_budget(1.0);
+    let outcome = Encore::new(config).run(&module, train.profile.as_ref().unwrap());
+
+    println!("regions and verdicts:");
+    for (cand, selected) in &outcome.candidates {
+        println!(
+            "  header {} ({} blocks): {:?}  selected={}",
+            cand.spec.header,
+            cand.spec.blocks.len(),
+            cand.analysis.verdict,
+            selected
+        );
+        for v in &cand.analysis.violations {
+            println!(
+                "    WAR hazard: load at {} may be overwritten by store at {} ({})",
+                v.load.at, v.store.at, v.store.addr
+            );
+        }
+        for cp in &cand.analysis.cp {
+            println!("    checkpoint inserted before store at {} ({})", cp.at, cp.addr);
+        }
+    }
+
+    // Show the instrumented IR of the function — SetRecovery,
+    // CheckpointMem/CheckpointReg and the recovery blocks are visible in
+    // the printed text.
+    println!("\ninstrumented IR:\n{}", outcome.instrumented.module.func(entry));
+}

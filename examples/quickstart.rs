@@ -1,0 +1,73 @@
+//! Quickstart: profile a workload, protect it with Encore, and survive a
+//! transient fault.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use encore::core::{Encore, EncoreConfig};
+use encore::sim::{run_function, FaultPlan, RunConfig, Value};
+
+fn main() {
+    // 1. Pick a workload from the suite (an ADPCM audio encoder).
+    let w = encore::workloads::by_name("rawcaudio").expect("workload exists");
+    println!("workload: {} — {}", w.name, w.description);
+
+    // 2. Training run: collect an execution profile.
+    let train = run_function(
+        &w.module,
+        None,
+        w.entry,
+        &[Value::Int(w.train_arg)],
+        &RunConfig { collect_profile: true, ..Default::default() },
+    );
+    println!("profiled {} dynamic instructions", train.dyn_insts);
+
+    // 3. Encore pipeline: partition into regions, analyze idempotence,
+    //    select under the 20% overhead budget, instrument.
+    let outcome = Encore::new(EncoreConfig::default())
+        .run(&w.module, train.profile.as_ref().expect("profile collected"));
+    for report in &outcome.reports {
+        println!(
+            "  region {}@{}: {:?}, protected={}, {:.1}% of execution",
+            report.func_name,
+            report.header,
+            report.verdict,
+            report.protected,
+            report.exec_fraction * 100.0
+        );
+    }
+    println!("estimated overhead: {:.1}%", outcome.est_overhead * 100.0);
+
+    // 4. Baseline (fault-free) evaluation run.
+    let golden = run_function(
+        &outcome.instrumented.module,
+        Some(&outcome.instrumented.map),
+        w.entry,
+        &[Value::Int(w.eval_arg)],
+        &RunConfig::default(),
+    );
+
+    // 5. Same run, but flip bit 9 of the 500th value produced, detected
+    //    6 instructions later — then compare against the golden run.
+    let faulty = run_function(
+        &outcome.instrumented.module,
+        Some(&outcome.instrumented.map),
+        w.entry,
+        &[Value::Int(w.eval_arg)],
+        &RunConfig {
+            fault: Some(FaultPlan { inject_at: 500, bit: 9, detect_latency: 6 }),
+            ..Default::default()
+        },
+    );
+    println!(
+        "fault injected={}, detected={}, rolled back={} (to {:?})",
+        faulty.fault.injected,
+        faulty.fault.detected,
+        faulty.fault.rolled_back,
+        faulty.fault.rollback_region,
+    );
+    if faulty.observably_equal(&golden) {
+        println!("state matches the golden run: the fault was recovered ✔");
+    } else {
+        println!("state diverged: the fault escaped recovery ✘");
+    }
+}

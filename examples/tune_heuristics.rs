@@ -1,0 +1,84 @@
+//! The reliability/performance dial: sweep Encore's heuristics (`Pmin`,
+//! the overhead budget, η) on one workload and print how coverage and
+//! overhead trade off — the paper's "dial in the desired degree of fault
+//! tolerance" claim, made concrete.
+//!
+//! Run with `cargo run --release --example tune_heuristics [-- <workload>]`.
+
+use encore::core::{Encore, EncoreConfig};
+use encore::sim::{run_function, RunConfig, Value};
+
+fn evaluate(w: &encore::workloads::Workload, config: EncoreConfig) -> (f64, f64, f64) {
+    let train = run_function(
+        &w.module,
+        None,
+        w.entry,
+        &[Value::Int(w.train_arg)],
+        &RunConfig { collect_profile: true, ..Default::default() },
+    );
+    let outcome = Encore::new(config).run(&w.module, train.profile.as_ref().unwrap());
+
+    // Measure the real overhead on the evaluation input.
+    let baseline = run_function(&w.module, None, w.entry, &[Value::Int(w.eval_arg)], &RunConfig::default());
+    let instrumented = run_function(
+        &outcome.instrumented.module,
+        Some(&outcome.instrumented.map),
+        w.entry,
+        &[Value::Int(w.eval_arg)],
+        &RunConfig::default(),
+    );
+    let overhead =
+        (instrumented.dyn_insts as f64 - baseline.dyn_insts as f64) / baseline.dyn_insts as f64;
+    (
+        outcome.full_system.total(),
+        outcome.breakdown.protected_fraction(),
+        overhead,
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let name = args.get(1).map(String::as_str).unwrap_or("164.gzip");
+    let w = encore::workloads::by_name(name).expect("known workload");
+    println!("tuning {} — {}\n", w.name, w.description);
+
+    println!("{:<28}{:>10}{:>12}{:>10}", "configuration", "coverage", "protected", "overhead");
+    let budgets = [0.05, 0.10, 0.20, 0.40, 1.00];
+    for b in budgets {
+        let (cov, prot, ovh) = evaluate(&w, EncoreConfig::default().with_overhead_budget(b));
+        println!(
+            "{:<28}{:>9.1}%{:>11.1}%{:>9.1}%",
+            format!("budget = {:.0}%", b * 100.0),
+            cov * 100.0,
+            prot * 100.0,
+            ovh * 100.0
+        );
+    }
+    println!();
+    for pmin in [None, Some(0.0), Some(0.1), Some(0.25)] {
+        let label = match pmin {
+            None => "Pmin = ∅ (no pruning)".to_string(),
+            Some(p) => format!("Pmin = {p}"),
+        };
+        let (cov, prot, ovh) = evaluate(&w, EncoreConfig::default().with_pmin(pmin));
+        println!(
+            "{:<28}{:>9.1}%{:>11.1}%{:>9.1}%",
+            label,
+            cov * 100.0,
+            prot * 100.0,
+            ovh * 100.0
+        );
+    }
+    println!();
+    for eta in [0.1, 1.0, 10.0, 1e9] {
+        let (cov, prot, ovh) = evaluate(&w, EncoreConfig::default().with_eta(eta));
+        println!(
+            "{:<28}{:>9.1}%{:>11.1}%{:>9.1}%",
+            format!("eta = {eta}"),
+            cov * 100.0,
+            prot * 100.0,
+            ovh * 100.0
+        );
+    }
+    println!("\n(coverage = modeled full-system fault coverage at Dmax = 100)");
+}

@@ -1,0 +1,45 @@
+//! Writes Graphviz renderings of a workload's CFG with its Encore region
+//! partition overlaid (green = idempotent+protected, yellow =
+//! checkpointed, red = unprotected, gray = unknown) — the reproduction's
+//! Figure 2.
+//!
+//! Run with `cargo run --example visualize_regions [-- <workload> <out.dot>]`
+//! then render via `dot -Tsvg regions.dot -o regions.svg`.
+
+use encore::core::{dot_regions, Encore, EncoreConfig};
+use encore::sim::{run_function, RunConfig, Value};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let name = args.get(1).map(String::as_str).unwrap_or("175.vpr");
+    let out_path = args.get(2).map(String::as_str).unwrap_or("regions.dot");
+
+    let w = encore::workloads::by_name(name).expect("known workload");
+    let train = run_function(
+        &w.module,
+        None,
+        w.entry,
+        &[Value::Int(w.train_arg)],
+        &RunConfig { collect_profile: true, ..Default::default() },
+    );
+    let outcome = Encore::new(EncoreConfig::default())
+        .run(&w.module, train.profile.as_ref().unwrap());
+
+    let mut dot = String::new();
+    for (fid, func) in w.module.iter_funcs() {
+        println!("function `{}`:", func.name);
+        for (cand, sel) in outcome.candidates.iter().filter(|(c, _)| c.spec.func == fid) {
+            println!(
+                "  region @{}: {:?}, protected={}, {} blocks",
+                cand.spec.header,
+                cand.analysis.verdict,
+                sel,
+                cand.spec.blocks.len()
+            );
+        }
+        dot.push_str(&dot_regions(&w.module, &outcome, fid));
+        dot.push('\n');
+    }
+    std::fs::write(out_path, &dot).expect("write dot file");
+    println!("\nwrote {out_path}; render with: dot -Tsvg {out_path} -o regions.svg");
+}

@@ -1,0 +1,147 @@
+//! Property-based invariants of the analysis stack, exercised on random
+//! generated programs: printer/parser round-trips, dominator-tree laws,
+//! region partition well-formedness, alias-oracle monotonicity, and
+//! analysis determinism.
+
+mod common;
+
+use common::{build_program, stmt_strategy};
+use encore::analysis::{DomTree, IntervalHierarchy, LoopForest, Profile};
+use encore::analysis::{OptimisticAlias, StaticAlias};
+use encore::core::idempotence::{IdempotenceAnalyzer, RegionSpec, Verdict};
+use encore::ir::parse_module;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// `parse(print(m)) == m` for every generated module.
+    #[test]
+    fn print_parse_roundtrip(stmts in stmt_strategy()) {
+        let (module, _) = build_program(&stmts);
+        let text = module.to_string();
+        let reparsed = parse_module(&text)
+            .unwrap_or_else(|e| panic!("parse failed: {e}\n{text}"));
+        prop_assert_eq!(reparsed, module);
+    }
+
+    /// Dominator-tree laws: the entry dominates everything reachable,
+    /// idom(b) strictly dominates b, and dominance is transitive along
+    /// idom chains.
+    #[test]
+    fn dominator_laws(stmts in stmt_strategy()) {
+        let (module, entry) = build_program(&stmts);
+        let func = module.func(entry);
+        let dom = DomTree::compute(func);
+        for b in func.block_ids() {
+            if !dom.is_reachable(b) {
+                continue;
+            }
+            prop_assert!(dom.dominates(func.entry(), b));
+            prop_assert!(dom.dominates(b, b));
+            if let Some(idom) = dom.idom(b) {
+                prop_assert!(dom.dominates(idom, b));
+                prop_assert!(idom != b);
+            }
+        }
+    }
+
+    /// Interval invariants: each level partitions the reachable blocks
+    /// and every interval header dominates its members (SEME-ness).
+    #[test]
+    fn interval_laws(stmts in stmt_strategy()) {
+        let (module, entry) = build_program(&stmts);
+        let func = module.func(entry);
+        let dom = DomTree::compute(func);
+        let hierarchy = IntervalHierarchy::compute(func);
+        let reachable: std::collections::BTreeSet<_> = func
+            .block_ids()
+            .filter(|b| dom.is_reachable(*b))
+            .collect();
+        for level in &hierarchy.levels {
+            let mut seen = std::collections::BTreeSet::new();
+            for iv in level {
+                for b in &iv.blocks {
+                    prop_assert!(seen.insert(*b), "block in two intervals");
+                    prop_assert!(dom.dominates(iv.header, *b));
+                }
+            }
+            prop_assert_eq!(&seen, &reachable);
+        }
+    }
+
+    /// Builder-generated CFGs are reducible: every cycle is a natural
+    /// loop and nesting is strict containment.
+    #[test]
+    fn loops_are_reducible(stmts in stmt_strategy()) {
+        let (module, entry) = build_program(&stmts);
+        let func = module.func(entry);
+        let dom = DomTree::compute(func);
+        let forest = LoopForest::compute(func, &dom);
+        prop_assert!(!forest.irreducible);
+        for (i, l) in forest.loops.iter().enumerate() {
+            prop_assert!(l.blocks.contains(&l.header));
+            prop_assert!(!l.latches.is_empty());
+            if let Some(p) = l.parent {
+                prop_assert!(l.blocks.is_subset(&forest.loops[p].blocks));
+                prop_assert!(p != i);
+            }
+        }
+    }
+
+    /// The optimistic oracle never needs more checkpoints than the
+    /// conservative one, and an idempotent-under-static region stays
+    /// idempotent under optimistic.
+    #[test]
+    fn optimistic_is_never_worse(stmts in stmt_strategy()) {
+        let (module, entry) = build_program(&stmts);
+        let spec = RegionSpec {
+            func: entry,
+            header: module.func(entry).entry(),
+            blocks: module.func(entry).block_ids().collect(),
+        };
+        let st = IdempotenceAnalyzer::new(&module, &StaticAlias)
+            .analyze_region(&spec, &|_| false);
+        let op = IdempotenceAnalyzer::new(&module, &OptimisticAlias)
+            .analyze_region(&spec, &|_| false);
+        prop_assert!(op.cp.len() <= st.cp.len());
+        if st.verdict == Verdict::Idempotent {
+            prop_assert_eq!(op.verdict, Verdict::Idempotent);
+        }
+    }
+
+    /// Pruning blocks can only shrink the checkpoint set.
+    #[test]
+    fn pruning_shrinks_cp(stmts in stmt_strategy(), cutoff in 0u32..6) {
+        let (module, entry) = build_program(&stmts);
+        let spec = RegionSpec {
+            func: entry,
+            header: module.func(entry).entry(),
+            blocks: module.func(entry).block_ids().collect(),
+        };
+        let az = IdempotenceAnalyzer::new(&module, &StaticAlias);
+        let full = az.analyze_region(&spec, &|_| false);
+        // Prune a deterministic subset of non-header blocks.
+        let pruned = az.analyze_region(&spec, &|b| b.raw() % 7 < cutoff && b.raw() != 0);
+        prop_assert!(pruned.cp.len() <= full.cp.len());
+    }
+
+    /// The whole pipeline is deterministic.
+    #[test]
+    fn pipeline_is_deterministic(stmts in stmt_strategy()) {
+        use encore::core::{Encore, EncoreConfig};
+        let (module, entry) = build_program(&stmts);
+        let train = encore::sim::run_function(
+            &module,
+            None,
+            entry,
+            &[encore::sim::Value::Int(4)],
+            &encore::sim::RunConfig { collect_profile: true, ..Default::default() },
+        );
+        let profile: Profile = train.profile.expect("profile");
+        let a = Encore::new(EncoreConfig::default()).run(&module, &profile);
+        let b = Encore::new(EncoreConfig::default()).run(&module, &profile);
+        prop_assert_eq!(a.instrumented.module, b.instrumented.module);
+        prop_assert_eq!(a.est_overhead, b.est_overhead);
+    }
+}

@@ -1,0 +1,162 @@
+//! Shared test utilities: a proptest generator for random, terminating,
+//! memory-safe IR programs.
+//!
+//! Programs are generated as statement trees (arithmetic, global
+//! loads/stores with constant or bounded dynamic indices, bounded `if`s
+//! and constant-trip loops), so every generated module verifies, runs to
+//! completion, and is deterministic — the foundation for the end-to-end
+//! soundness properties in the integration tests.
+
+use encore_ir::{
+    AddrExpr, BinOp, FuncId, FunctionBuilder, MemBase, Module, ModuleBuilder, Operand, Reg,
+};
+use proptest::prelude::*;
+
+/// Number of globals every generated module declares.
+pub const GLOBALS: usize = 3;
+/// Cells per global.
+pub const CELLS: i64 = 8;
+
+/// A generated statement.
+#[derive(Clone, Debug)]
+pub enum Stmt {
+    /// `r = op(a, b)` over existing integer registers/immediates.
+    Arith { op: usize, lhs: usize, rhs: i64 },
+    /// Load from a static global cell into a fresh register.
+    LoadG { g: usize, off: i64 },
+    /// Store an existing register to a static global cell.
+    StoreG { g: usize, off: i64, src: usize },
+    /// Load through a bounded dynamic index derived from a register.
+    LoadIdx { g: usize, idx: usize },
+    /// Store through a bounded dynamic index.
+    StoreIdx { g: usize, idx: usize, src: usize },
+    /// Two-way branch on a register value.
+    If { cond: usize, then_s: Vec<Stmt>, else_s: Vec<Stmt> },
+    /// Constant-trip loop (always terminates).
+    For { trip: u8, body: Vec<Stmt> },
+}
+
+/// Strategy producing a statement list of bounded depth and size.
+pub fn stmt_strategy() -> impl Strategy<Value = Vec<Stmt>> {
+    prop::collection::vec(stmt_leaf_or_nested(), 1..10)
+}
+
+fn stmt_leaf_or_nested() -> impl Strategy<Value = Stmt> {
+    let leaf = prop_oneof![
+        (0usize..8, 0usize..8, -4i64..16).prop_map(|(op, lhs, rhs)| Stmt::Arith { op, lhs, rhs }),
+        (0usize..GLOBALS, 0..CELLS).prop_map(|(g, off)| Stmt::LoadG { g, off }),
+        (0usize..GLOBALS, 0..CELLS, 0usize..8)
+            .prop_map(|(g, off, src)| Stmt::StoreG { g, off, src }),
+        (0usize..GLOBALS, 0usize..8).prop_map(|(g, idx)| Stmt::LoadIdx { g, idx }),
+        (0usize..GLOBALS, 0usize..8, 0usize..8)
+            .prop_map(|(g, idx, src)| Stmt::StoreIdx { g, idx, src }),
+    ];
+    leaf.prop_recursive(3, 32, 5, |inner| {
+        prop_oneof![
+            (
+                0usize..8,
+                prop::collection::vec(inner.clone(), 0..4),
+                prop::collection::vec(inner.clone(), 0..4)
+            )
+                .prop_map(|(cond, then_s, else_s)| Stmt::If { cond, then_s, else_s }),
+            (1u8..5, prop::collection::vec(inner, 1..4))
+                .prop_map(|(trip, body)| Stmt::For { trip, body }),
+        ]
+    })
+}
+
+const OPS: [BinOp; 8] = [
+    BinOp::Add,
+    BinOp::Sub,
+    BinOp::Mul,
+    BinOp::And,
+    BinOp::Or,
+    BinOp::Xor,
+    BinOp::Lt,
+    BinOp::Eq,
+];
+
+fn emit(f: &mut FunctionBuilder<'_>, pool: &mut Vec<Reg>, stmts: &[Stmt], globals: &[encore_ir::GlobalId]) {
+    for s in stmts {
+        match s {
+            Stmt::Arith { op, lhs, rhs } => {
+                let a = pool[*lhs % pool.len()];
+                let r = f.bin(OPS[*op % OPS.len()], a.into(), Operand::ImmI(*rhs));
+                pool.push(r);
+            }
+            Stmt::LoadG { g, off } => {
+                let r = f.load(AddrExpr::global(globals[*g % GLOBALS], *off));
+                pool.push(r);
+            }
+            Stmt::StoreG { g, off, src } => {
+                let v = pool[*src % pool.len()];
+                f.store(AddrExpr::global(globals[*g % GLOBALS], *off), v.into());
+            }
+            Stmt::LoadIdx { g, idx } => {
+                let raw = pool[*idx % pool.len()];
+                let masked = f.bin(BinOp::And, raw.into(), Operand::ImmI(CELLS - 1));
+                let r = f.load(AddrExpr::indexed(
+                    MemBase::Global(globals[*g % GLOBALS]),
+                    masked,
+                    1,
+                    0,
+                ));
+                pool.push(r);
+            }
+            Stmt::StoreIdx { g, idx, src } => {
+                let raw = pool[*idx % pool.len()];
+                let masked = f.bin(BinOp::And, raw.into(), Operand::ImmI(CELLS - 1));
+                let v = pool[*src % pool.len()];
+                f.store(
+                    AddrExpr::indexed(MemBase::Global(globals[*g % GLOBALS]), masked, 1, 0),
+                    v.into(),
+                );
+            }
+            Stmt::If { cond, then_s, else_s } => {
+                let c = pool[*cond % pool.len()];
+                // Arms may define registers, but the pool must stay
+                // consistent at the join: snapshot and restore.
+                let snapshot = pool.clone();
+                let then_v: Vec<Stmt> = then_s.clone();
+                let else_v: Vec<Stmt> = else_s.clone();
+                let g2 = globals.to_vec();
+                let mut pool_then = snapshot.clone();
+                let mut pool_else = snapshot.clone();
+                f.if_else(
+                    c.into(),
+                    |f| emit(f, &mut pool_then, &then_v, &g2),
+                    |f| emit(f, &mut pool_else, &else_v, &g2),
+                );
+            }
+            Stmt::For { trip, body } => {
+                let body_v = body.clone();
+                let g2 = globals.to_vec();
+                let snapshot = pool.clone();
+                let mut pool_body = snapshot;
+                f.for_range(Operand::ImmI(0), Operand::ImmI(*trip as i64), |f, i| {
+                    pool_body.push(i);
+                    emit(f, &mut pool_body, &body_v, &g2);
+                });
+            }
+        }
+    }
+}
+
+/// Materializes a random program as a verified module.
+pub fn build_program(stmts: &[Stmt]) -> (Module, FuncId) {
+    let mut mb = ModuleBuilder::new("generated");
+    let globals: Vec<_> = (0..GLOBALS)
+        .map(|g| mb.global_init(format!("g{g}"), CELLS as u32, vec![3, 1, 4, 1, 5, 9, 2, 6]))
+        .collect();
+    let entry = mb.function("main", 1, |f| {
+        let p = f.param(0);
+        let seed = f.bin(BinOp::Mul, p.into(), Operand::ImmI(7));
+        let mut pool = vec![p, seed];
+        emit(f, &mut pool, stmts, &globals);
+        let last = *pool.last().expect("nonempty pool");
+        f.ret(Some(last.into()));
+    });
+    let m = mb.finish();
+    encore_ir::verify_module(&m).expect("generated module verifies");
+    (m, entry)
+}

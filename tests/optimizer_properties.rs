@@ -1,0 +1,127 @@
+//! Property tests for the optimizer: every pass combination must
+//! preserve program semantics on random programs and on the whole
+//! workload suite, and optimized programs must remain analyzable and
+//! protectable by Encore.
+
+mod common;
+
+use common::{build_program, stmt_strategy};
+use encore::core::{Encore, EncoreConfig};
+use encore::ir::verify_module;
+use encore::opt::optimize_module;
+use encore::sim::{run_function, RunConfig, Value};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// `optimize(p)` is observably equivalent to `p` on random programs.
+    #[test]
+    fn optimization_preserves_semantics(stmts in stmt_strategy(), arg in 0i64..12) {
+        let (module, entry) = build_program(&stmts);
+        let baseline =
+            run_function(&module, None, entry, &[Value::Int(arg)], &RunConfig::default());
+        prop_assert!(baseline.completed);
+
+        let mut optimized = module.clone();
+        optimize_module(&mut optimized);
+        verify_module(&optimized).expect("optimized module verifies");
+
+        let opt_run =
+            run_function(&optimized, None, entry, &[Value::Int(arg)], &RunConfig::default());
+        prop_assert!(opt_run.completed);
+        prop_assert!(opt_run.observably_equal(&baseline));
+        // No strict "never slower" claim: LICM speculates pure
+        // computations out of conditional arms (profitable on hot loops,
+        // a few extra instructions when the arm never runs — proptest
+        // found exactly that counterexample). Static code size may grow
+        // only by the inserted preheader jumps.
+        let loops = optimized.funcs.iter().map(|f| f.blocks.len()).sum::<usize>();
+        prop_assert!(
+            optimized.static_inst_count() <= module.static_inst_count() + loops,
+            "static size grew beyond preheader jumps"
+        );
+    }
+
+    /// Encore still protects optimized random programs transparently.
+    #[test]
+    fn optimized_programs_remain_protectable(stmts in stmt_strategy()) {
+        let (module, entry) = build_program(&stmts);
+        let mut optimized = module;
+        optimize_module(&mut optimized);
+
+        let train = run_function(
+            &optimized,
+            None,
+            entry,
+            &[Value::Int(5)],
+            &RunConfig { collect_profile: true, ..Default::default() },
+        );
+        prop_assert!(train.completed);
+        let outcome = Encore::new(EncoreConfig::default().with_overhead_budget(1e9))
+            .run(&optimized, train.profile.as_ref().unwrap());
+        verify_module(&outcome.instrumented.module).expect("instrumented verifies");
+
+        let baseline =
+            run_function(&optimized, None, entry, &[Value::Int(7)], &RunConfig::default());
+        let instrumented = run_function(
+            &outcome.instrumented.module,
+            Some(&outcome.instrumented.map),
+            entry,
+            &[Value::Int(7)],
+            &RunConfig::default(),
+        );
+        prop_assert!(instrumented.completed);
+        prop_assert!(instrumented.observably_equal(&baseline));
+    }
+
+    /// Optimization is idempotent: a second run changes nothing.
+    #[test]
+    fn optimization_is_idempotent(stmts in stmt_strategy()) {
+        let (module, _) = build_program(&stmts);
+        let mut once = module;
+        optimize_module(&mut once);
+        let mut twice = once.clone();
+        let stats = optimize_module(&mut twice);
+        prop_assert_eq!(&once, &twice);
+        prop_assert_eq!(stats.iterations, 1);
+    }
+}
+
+#[test]
+fn whole_suite_is_optimization_stable() {
+    // Every workload must behave identically after optimization, on its
+    // evaluation input.
+    for w in encore::workloads::all() {
+        let baseline = run_function(
+            &w.module,
+            None,
+            w.entry,
+            &[Value::Int(w.eval_arg)],
+            &RunConfig::default(),
+        );
+        assert!(baseline.completed, "{}", w.name);
+        let mut optimized = w.module.clone();
+        let stats = optimize_module(&mut optimized);
+        verify_module(&optimized).unwrap_or_else(|e| panic!("{}: {e:?}", w.name));
+        let opt_run = run_function(
+            &optimized,
+            None,
+            w.entry,
+            &[Value::Int(w.eval_arg)],
+            &RunConfig::default(),
+        );
+        assert!(opt_run.completed, "{}", w.name);
+        assert!(
+            opt_run.observably_equal(&baseline),
+            "{}: optimization changed behavior",
+            w.name
+        );
+        assert!(
+            opt_run.dyn_insts <= baseline.dyn_insts,
+            "{}: optimization slowed the program down",
+            w.name
+        );
+        let _ = stats;
+    }
+}

@@ -1,0 +1,146 @@
+//! End-to-end pipeline integration over the full workload suite:
+//! profile → analyze → select → instrument → execute. Instrumentation
+//! must be semantics-preserving, overhead must respect the budget, and
+//! the coverage model must be well-formed, for every workload.
+
+use encore::core::{Encore, EncoreConfig};
+use encore::ir::verify_module;
+use encore::sim::{run_function, RunConfig, Value};
+
+struct WorkloadRun {
+    name: &'static str,
+    outcome: encore::core::EncoreOutcome,
+    baseline_dyn: u64,
+    instrumented_dyn: u64,
+    equal: bool,
+}
+
+fn run_all(config: &EncoreConfig) -> Vec<WorkloadRun> {
+    encore::workloads::all()
+        .into_iter()
+        .map(|w| {
+            let train = run_function(
+                &w.module,
+                None,
+                w.entry,
+                &[Value::Int(w.train_arg)],
+                &RunConfig { collect_profile: true, ..Default::default() },
+            );
+            assert!(train.completed, "{}: training run trapped", w.name);
+            let outcome = Encore::new(config.clone())
+                .run(&w.module, train.profile.as_ref().unwrap());
+            let baseline = run_function(
+                &w.module,
+                None,
+                w.entry,
+                &[Value::Int(w.eval_arg)],
+                &RunConfig::default(),
+            );
+            assert!(baseline.completed, "{}: baseline trapped", w.name);
+            let instrumented = run_function(
+                &outcome.instrumented.module,
+                Some(&outcome.instrumented.map),
+                w.entry,
+                &[Value::Int(w.eval_arg)],
+                &RunConfig::default(),
+            );
+            assert!(instrumented.completed, "{}: instrumented run trapped", w.name);
+            WorkloadRun {
+                name: w.name,
+                baseline_dyn: baseline.dyn_insts,
+                instrumented_dyn: instrumented.dyn_insts,
+                equal: instrumented.observably_equal(&baseline),
+                outcome,
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn instrumentation_preserves_semantics_on_all_workloads() {
+    for run in run_all(&EncoreConfig::default()) {
+        assert!(run.equal, "{}: instrumented run diverged from baseline", run.name);
+    }
+}
+
+#[test]
+fn instrumented_modules_verify() {
+    for run in run_all(&EncoreConfig::default()) {
+        verify_module(&run.outcome.instrumented.module)
+            .unwrap_or_else(|e| panic!("{}: invalid instrumented IR: {e:?}", run.name));
+    }
+}
+
+#[test]
+fn measured_overhead_respects_budget() {
+    // The estimate drives selection on the *training* input; measured
+    // overhead on the evaluation input gets modest slack for input-shift.
+    for run in run_all(&EncoreConfig::default()) {
+        let overhead = (run.instrumented_dyn as f64 - run.baseline_dyn as f64)
+            / run.baseline_dyn as f64;
+        assert!(
+            overhead <= 0.25,
+            "{}: measured overhead {:.1}% blows the 20% budget (+slack)",
+            run.name,
+            overhead * 100.0
+        );
+        assert!(run.outcome.est_overhead <= 0.20 + 1e-9, "{}: estimate over budget", run.name);
+    }
+}
+
+#[test]
+fn coverage_model_is_well_formed_everywhere() {
+    for run in run_all(&EncoreConfig::default()) {
+        let fs = run.outcome.full_system;
+        let sum =
+            fs.masked + fs.recovered_idempotent + fs.recovered_checkpointed + fs.not_recoverable;
+        assert!((sum - 1.0).abs() < 1e-6, "{}: stack sums to {sum}", run.name);
+        assert!(fs.total() >= fs.masked, "{}", run.name);
+        assert!(fs.total() <= 1.0 + 1e-9, "{}", run.name);
+        let b = run.outcome.breakdown;
+        assert!((b.idempotent + b.checkpointed + b.unprotected - 1.0).abs() < 1e-6,
+            "{}: breakdown sums to {}", run.name, b.idempotent + b.checkpointed + b.unprotected);
+    }
+}
+
+#[test]
+fn regions_partition_every_function() {
+    for run in run_all(&EncoreConfig::default()) {
+        use std::collections::BTreeSet;
+        let mut per_func: std::collections::BTreeMap<_, BTreeSet<_>> = Default::default();
+        for (cand, _) in &run.outcome.candidates {
+            for b in &cand.spec.blocks {
+                assert!(
+                    per_func.entry(cand.spec.func).or_default().insert(*b),
+                    "{}: block {b} appears in two regions",
+                    run.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn zero_budget_instruments_nothing_costly() {
+    for run in run_all(&EncoreConfig::default().with_overhead_budget(0.0)) {
+        assert_eq!(
+            run.baseline_dyn, run.instrumented_dyn,
+            "{}: zero budget must add zero overhead",
+            run.name
+        );
+    }
+}
+
+#[test]
+fn unlimited_budget_increases_protection() {
+    let default_runs = run_all(&EncoreConfig::default());
+    let rich_runs = run_all(&EncoreConfig::default().with_overhead_budget(10.0));
+    for (d, r) in default_runs.iter().zip(&rich_runs) {
+        assert!(
+            r.outcome.breakdown.protected_fraction()
+                >= d.outcome.breakdown.protected_fraction() - 1e-9,
+            "{}: bigger budget reduced protection",
+            d.name
+        );
+    }
+}
