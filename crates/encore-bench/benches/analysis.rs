@@ -1,16 +1,16 @@
-//! Criterion microbenchmarks for the compile-time side of Encore: the
-//! idempotence analysis, region formation, and the full pipeline, per
-//! benchmark suite — the cost a user pays at build time for Encore
-//! protection.
+//! Microbenchmarks for the compile-time side of Encore: the idempotence
+//! analysis, region formation, and the full pipeline, per benchmark
+//! suite — the cost a user pays at build time for Encore protection.
+//!
+//! Run with `cargo bench --bench analysis --offline`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use encore_analysis::StaticAlias;
+use encore_bench::microbench::Microbench;
 use encore_bench::prepare;
 use encore_core::idempotence::{IdempotenceAnalyzer, RegionSpec};
 use encore_core::{Encore, EncoreConfig};
 
-fn bench_idempotence_analysis(c: &mut Criterion) {
-    let mut group = c.benchmark_group("idempotence_analysis");
+fn bench_idempotence_analysis(bench: &mut Microbench) {
     for name in ["164.gzip", "172.mgrid", "cjpeg"] {
         let w = encore_workloads::by_name(name).expect("workload");
         let spec = RegionSpec {
@@ -18,46 +18,39 @@ fn bench_idempotence_analysis(c: &mut Criterion) {
             header: w.module.func(w.entry).entry(),
             blocks: w.module.func(w.entry).block_ids().collect(),
         };
-        group.bench_with_input(BenchmarkId::from_parameter(name), &w, |b, w| {
-            let analyzer = IdempotenceAnalyzer::new(&w.module, &StaticAlias);
-            b.iter(|| analyzer.analyze_region(&spec, &|_| false));
+        let analyzer = IdempotenceAnalyzer::new(&w.module, &StaticAlias);
+        bench.bench(&format!("idempotence_analysis/{name}"), || {
+            analyzer.analyze_region(&spec, &|_| false)
         });
     }
-    group.finish();
 }
 
-fn bench_full_pipeline(c: &mut Criterion) {
-    let mut group = c.benchmark_group("encore_pipeline");
+fn bench_full_pipeline(bench: &mut Microbench) {
     for name in ["164.gzip", "179.art", "mpeg2enc"] {
         let prepared = prepare(encore_workloads::by_name(name).expect("workload"));
-        group.bench_with_input(BenchmarkId::from_parameter(name), &prepared, |b, p| {
-            b.iter(|| {
-                Encore::new(EncoreConfig::default()).run(&p.workload.module, &p.profile)
-            });
+        bench.bench(&format!("encore_pipeline/{name}"), || {
+            Encore::new(EncoreConfig::default()).run(&prepared.workload.module, &prepared.profile)
         });
     }
-    group.finish();
 }
 
-fn bench_pipeline_alias_modes(c: &mut Criterion) {
-    let mut group = c.benchmark_group("pipeline_alias_mode");
+fn bench_pipeline_alias_modes(bench: &mut Microbench) {
     let prepared = prepare(encore_workloads::by_name("256.bzip2").expect("workload"));
     for (label, mode) in [
         ("static", encore_analysis::AliasMode::Static),
         ("optimistic", encore_analysis::AliasMode::Optimistic),
     ] {
-        group.bench_function(label, |b| {
-            let config = EncoreConfig::default().with_alias(mode);
-            b.iter(|| Encore::new(config.clone()).run(&prepared.workload.module, &prepared.profile));
+        let config = EncoreConfig::default().with_alias(mode);
+        bench.bench(&format!("pipeline_alias_mode/{label}"), || {
+            Encore::new(config.clone()).run(&prepared.workload.module, &prepared.profile)
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_idempotence_analysis,
-    bench_full_pipeline,
-    bench_pipeline_alias_modes
-);
-criterion_main!(benches);
+fn main() {
+    let mut bench = Microbench::new("analysis");
+    bench_idempotence_analysis(&mut bench);
+    bench_full_pipeline(&mut bench);
+    bench_pipeline_alias_modes(&mut bench);
+    bench.finish();
+}

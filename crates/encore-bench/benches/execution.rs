@@ -1,14 +1,15 @@
-//! Criterion microbenchmarks for the runtime side: interpreter
-//! throughput, and baseline vs. Encore-instrumented execution — the
-//! wall-clock analogue of Figure 7a's dynamic-instruction overhead.
+//! Microbenchmarks for the runtime side: interpreter throughput, and
+//! baseline vs. Encore-instrumented execution — the wall-clock analogue
+//! of Figure 7a's dynamic-instruction overhead.
+//!
+//! Run with `cargo bench --bench execution --offline`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use encore_bench::microbench::Microbench;
 use encore_bench::prepare;
 use encore_core::{Encore, EncoreConfig};
 use encore_sim::{run_function, RunConfig, Value};
 
-fn bench_interpreter_throughput(c: &mut Criterion) {
-    let mut group = c.benchmark_group("interpreter_throughput");
+fn bench_interpreter_throughput(bench: &mut Microbench) {
     for name in ["172.mgrid", "rawcaudio"] {
         let w = encore_workloads::by_name(name).expect("workload");
         let dyn_insts = run_function(
@@ -19,97 +20,59 @@ fn bench_interpreter_throughput(c: &mut Criterion) {
             &RunConfig::default(),
         )
         .dyn_insts;
-        group.throughput(Throughput::Elements(dyn_insts));
-        group.bench_with_input(BenchmarkId::from_parameter(name), &w, |b, w| {
-            b.iter(|| {
-                run_function(
-                    &w.module,
-                    None,
-                    w.entry,
-                    &[Value::Int(w.eval_arg)],
-                    &RunConfig::default(),
-                )
-            });
+        let sample = bench.bench(&format!("interpreter_throughput/{name}"), || {
+            run_function(&w.module, None, w.entry, &[Value::Int(w.eval_arg)], &RunConfig::default())
         });
+        println!(
+            "{name}: {:.1} M dynamic insts/s",
+            dyn_insts as f64 / sample.median_ns * 1e3
+        );
     }
-    group.finish();
 }
 
-fn bench_instrumented_vs_baseline(c: &mut Criterion) {
-    let mut group = c.benchmark_group("instrumentation_overhead");
+fn bench_instrumented_vs_baseline(bench: &mut Microbench) {
     for name in ["164.gzip", "g721encode"] {
         let prepared = prepare(encore_workloads::by_name(name).expect("workload"));
         let outcome =
             Encore::new(EncoreConfig::default()).run(&prepared.workload.module, &prepared.profile);
-        group.bench_function(format!("{name}/baseline"), |b| {
-            b.iter(|| {
-                run_function(
-                    &prepared.workload.module,
-                    None,
-                    prepared.workload.entry,
-                    &[Value::Int(prepared.workload.eval_arg)],
-                    &RunConfig::default(),
-                )
-            });
-        });
-        group.bench_function(format!("{name}/instrumented"), |b| {
-            b.iter(|| {
-                run_function(
-                    &outcome.instrumented.module,
-                    Some(&outcome.instrumented.map),
-                    prepared.workload.entry,
-                    &[Value::Int(prepared.workload.eval_arg)],
-                    &RunConfig::default(),
-                )
-            });
-        });
-    }
-    group.finish();
-}
-
-fn bench_profiling_cost(c: &mut Criterion) {
-    let mut group = c.benchmark_group("profiling_cost");
-    let w = encore_workloads::by_name("197.parser").expect("workload");
-    group.bench_function("plain", |b| {
-        b.iter(|| {
+        bench.bench(&format!("instrumentation_overhead/{name}/baseline"), || {
             run_function(
-                &w.module,
+                &prepared.workload.module,
                 None,
-                w.entry,
-                &[Value::Int(w.train_arg)],
+                prepared.workload.entry,
+                &[Value::Int(prepared.workload.eval_arg)],
                 &RunConfig::default(),
             )
         });
-    });
-    group.bench_function("with_profile", |b| {
-        b.iter(|| {
+        bench.bench(&format!("instrumentation_overhead/{name}/instrumented"), || {
             run_function(
-                &w.module,
-                None,
-                w.entry,
-                &[Value::Int(w.train_arg)],
-                &RunConfig { collect_profile: true, ..Default::default() },
+                &outcome.instrumented.module,
+                Some(&outcome.instrumented.map),
+                prepared.workload.entry,
+                &[Value::Int(prepared.workload.eval_arg)],
+                &RunConfig::default(),
             )
         });
-    });
-    group.bench_function("with_trace", |b| {
-        b.iter(|| {
-            run_function(
-                &w.module,
-                None,
-                w.entry,
-                &[Value::Int(w.train_arg)],
-                &RunConfig { collect_trace: true, ..Default::default() },
-            )
-        });
-    });
-    group.finish();
+    }
 }
 
-criterion_group!(
-    benches,
-    bench_interpreter_throughput,
-    bench_instrumented_vs_baseline,
-    bench_profiling_cost
-);
-criterion_main!(benches);
+fn bench_profiling_cost(bench: &mut Microbench) {
+    let w = encore_workloads::by_name("197.parser").expect("workload");
+    for (label, config) in [
+        ("plain", RunConfig::default()),
+        ("with_profile", RunConfig { collect_profile: true, ..Default::default() }),
+        ("with_trace", RunConfig { collect_trace: true, ..Default::default() }),
+    ] {
+        bench.bench(&format!("profiling_cost/{label}"), || {
+            run_function(&w.module, None, w.entry, &[Value::Int(w.train_arg)], &config)
+        });
+    }
+}
+
+fn main() {
+    let mut bench = Microbench::new("execution");
+    bench_interpreter_throughput(&mut bench);
+    bench_instrumented_vs_baseline(&mut bench);
+    bench_profiling_cost(&mut bench);
+    bench.finish();
+}

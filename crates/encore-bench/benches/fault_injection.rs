@@ -1,54 +1,53 @@
-//! Criterion microbenchmarks for the fault-injection machinery: the cost
-//! of a single injected run (with and without rollback) and of a small
-//! SFI batch — what bounds the Monte-Carlo campaign sizes in Figure 8's
-//! cross-validation.
+//! Microbenchmarks for the fault-injection machinery: the cost of a
+//! single injected run (with and without rollback), of a small SFI
+//! batch, and the parallel campaign engine's scaling — what bounds the
+//! Monte-Carlo campaign sizes in Figure 8's cross-validation.
+//!
+//! Run with `cargo bench --bench fault_injection --offline`. The
+//! scaling section asserts that sharded campaigns are bit-identical to
+//! the sequential run while reporting the wall-clock speedup.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use encore_bench::microbench::Microbench;
 use encore_bench::prepare;
 use encore_core::{Encore, EncoreConfig};
 use encore_sim::{run_function, FaultPlan, RunConfig, SfiCampaign, SfiConfig, Value};
+use std::time::Instant;
 
-fn bench_single_injection(c: &mut Criterion) {
+fn bench_single_injection(bench: &mut Microbench) {
     let prepared = prepare(encore_workloads::by_name("rawdaudio").expect("workload"));
     let outcome =
         Encore::new(EncoreConfig::default()).run(&prepared.workload.module, &prepared.profile);
-    let mut group = c.benchmark_group("single_injection");
-    group.bench_function("early_fault_with_rollback", |b| {
-        b.iter(|| {
-            run_function(
-                &outcome.instrumented.module,
-                Some(&outcome.instrumented.map),
-                prepared.workload.entry,
-                &[Value::Int(prepared.workload.eval_arg)],
-                &RunConfig {
-                    fault: Some(FaultPlan { inject_at: 100, bit: 5, detect_latency: 3 }),
-                    ..Default::default()
-                },
-            )
-        });
+    bench.bench("single_injection/early_fault_with_rollback", || {
+        run_function(
+            &outcome.instrumented.module,
+            Some(&outcome.instrumented.map),
+            prepared.workload.entry,
+            &[Value::Int(prepared.workload.eval_arg)],
+            &RunConfig {
+                fault: Some(FaultPlan { inject_at: 100, bit: 5, detect_latency: 3 }),
+                ..Default::default()
+            },
+        )
     });
-    group.bench_function("late_fault", |b| {
-        b.iter(|| {
-            run_function(
-                &outcome.instrumented.module,
-                Some(&outcome.instrumented.map),
-                prepared.workload.entry,
-                &[Value::Int(prepared.workload.eval_arg)],
-                &RunConfig {
-                    fault: Some(FaultPlan { inject_at: 5000, bit: 31, detect_latency: 50 }),
-                    ..Default::default()
-                },
-            )
-        });
+    bench.bench("single_injection/late_fault", || {
+        run_function(
+            &outcome.instrumented.module,
+            Some(&outcome.instrumented.map),
+            prepared.workload.entry,
+            &[Value::Int(prepared.workload.eval_arg)],
+            &RunConfig {
+                fault: Some(FaultPlan { inject_at: 5000, bit: 31, detect_latency: 50 }),
+                ..Default::default()
+            },
+        )
     });
-    group.finish();
 }
 
-fn bench_sfi_batch(c: &mut Criterion) {
+fn bench_sfi_batch(bench: &mut Microbench) {
     let prepared = prepare(encore_workloads::by_name("rawdaudio").expect("workload"));
     let outcome =
         Encore::new(EncoreConfig::default()).run(&prepared.workload.module, &prepared.profile);
-    let sfi = SfiConfig { injections: 20, dmax: 100, ..Default::default() };
+    let sfi = SfiConfig { injections: 20, dmax: 100, workers: 1, ..Default::default() };
     let campaign = SfiCampaign::new(
         &outcome.instrumented.module,
         Some(&outcome.instrumented.map),
@@ -56,10 +55,48 @@ fn bench_sfi_batch(c: &mut Criterion) {
         &[Value::Int(prepared.workload.eval_arg)],
         &sfi,
     );
-    c.bench_function("sfi_batch_20", |b| {
-        b.iter(|| campaign.run(&sfi));
-    });
+    bench.bench("sfi_batch_20", || campaign.run(&sfi));
 }
 
-criterion_group!(benches, bench_single_injection, bench_sfi_batch);
-criterion_main!(benches);
+/// A 1000-injection campaign on `g721encode`, sequential vs. sharded:
+/// prints measured speedups and asserts the runs are bit-identical.
+fn campaign_scaling() {
+    let prepared = prepare(encore_workloads::by_name("g721encode").expect("workload"));
+    let outcome =
+        Encore::new(EncoreConfig::default()).run(&prepared.workload.module, &prepared.profile);
+    let base = SfiConfig { injections: 1000, dmax: 100, workers: 1, ..Default::default() };
+    let campaign = SfiCampaign::new(
+        &outcome.instrumented.module,
+        Some(&outcome.instrumented.map),
+        prepared.workload.entry,
+        &[Value::Int(prepared.workload.eval_arg)],
+        &base,
+    );
+
+    println!("## campaign_scaling (g721encode, 1000 injections)\n");
+    let t = Instant::now();
+    let sequential = campaign.run(&base);
+    let seq_time = t.elapsed();
+    println!("workers =  1: {seq_time:?}");
+
+    let cores = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
+    for workers in [2, 4, 8] {
+        let t = Instant::now();
+        let parallel = campaign.run(&SfiConfig { workers, ..base });
+        let par_time = t.elapsed();
+        assert_eq!(sequential, parallel, "parallel campaign diverged at {workers} workers");
+        println!(
+            "workers = {workers:>2}: {par_time:?}  (speedup {:.2}x, {cores} cores available)",
+            seq_time.as_secs_f64() / par_time.as_secs_f64().max(1e-9)
+        );
+    }
+    println!();
+}
+
+fn main() {
+    let mut bench = Microbench::new("fault_injection");
+    bench_single_injection(&mut bench);
+    bench_sfi_batch(&mut bench);
+    bench.finish();
+    campaign_scaling();
+}

@@ -7,7 +7,7 @@
 //! Monte-Carlo fault injections per workload in the interpreter
 //! (bit flips + detection latency + actual rollback).
 //!
-//! Usage: `fig8 [--workloads a,b,c] [--sfi N] [--seed S]`
+//! Usage: `fig8 [--workloads a,b,c] [--sfi N] [--seed S] [--workers W]`
 
 use encore_bench::report::{banner, pct, Table};
 use encore_bench::{encore_run, prepare, selected_workloads};
@@ -29,6 +29,7 @@ fn main() {
     banner("Figure 8: full-system fault coverage vs. detection latency");
     let sfi_n = arg_value("--sfi").unwrap_or(0) as usize;
     let seed = arg_value("--seed").unwrap_or(0xE7_C04E);
+    let workers = arg_value("--workers").unwrap_or(0) as usize;
 
     let mut table = Table::new(&[
         "workload",
@@ -73,6 +74,7 @@ fn main() {
                     injections: sfi_n,
                     dmax,
                     seed,
+                    workers,
                     ..Default::default()
                 };
                 let campaign = SfiCampaign::new(

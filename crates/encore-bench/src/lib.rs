@@ -9,6 +9,7 @@
 
 #![warn(missing_docs)]
 
+pub mod microbench;
 pub mod report;
 
 use encore_analysis::Profile;
@@ -117,26 +118,104 @@ pub fn workload_filter() -> Option<Vec<String>> {
     let args: Vec<String> = std::env::args().collect();
     args.iter().position(|a| a == "--workloads").map(|i| {
         args.get(i + 1)
-            .map(|s| s.split(',').map(str::to_string).collect())
+            .map(|s| s.split(',').filter(|p| !p.is_empty()).map(str::to_string).collect())
             .unwrap_or_default()
     })
 }
 
-/// Applies the `--workloads` filter to the full suite.
-pub fn selected_workloads() -> Vec<Workload> {
+/// A `--workloads` filter that matched nothing it named.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct UnknownWorkloads(pub Vec<String>);
+
+impl std::fmt::Display for UnknownWorkloads {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.0.is_empty() {
+            return write!(f, "--workloads selected nothing; known workloads: {}",
+                encore_workloads::names().join(", "));
+        }
+        write!(
+            f,
+            "unknown workload name{} {}; known workloads: {}",
+            if self.0.len() == 1 { "" } else { "s" },
+            self.0.iter().map(|n| format!("`{n}`")).collect::<Vec<_>>().join(", "),
+            encore_workloads::names().join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownWorkloads {}
+
+/// Resolves a workload-name filter against the full suite, in suite
+/// order. `None` selects everything; any name that matches no workload
+/// is an error (a typo used to silently produce an empty suite and
+/// experiment binaries that printed empty tables).
+///
+/// # Errors
+///
+/// Returns [`UnknownWorkloads`] listing every unmatched name, or with
+/// an empty list when the filter itself selects nothing.
+pub fn select_workloads(filter: Option<&[String]>) -> Result<Vec<Workload>, UnknownWorkloads> {
     let all = encore_workloads::all();
-    match workload_filter() {
-        None => all,
-        Some(names) => all
-            .into_iter()
-            .filter(|w| names.iter().any(|n| n == w.name))
-            .collect(),
+    let Some(names) = filter else { return Ok(all) };
+    let unknown: Vec<String> = names
+        .iter()
+        .filter(|n| !all.iter().any(|w| w.name == n.as_str()))
+        .cloned()
+        .collect();
+    if !unknown.is_empty() {
+        return Err(UnknownWorkloads(unknown));
+    }
+    let selected: Vec<Workload> =
+        all.into_iter().filter(|w| names.iter().any(|n| n == w.name)).collect();
+    if selected.is_empty() {
+        return Err(UnknownWorkloads(Vec::new()));
+    }
+    Ok(selected)
+}
+
+/// Applies the `--workloads` argv filter to the full suite, exiting
+/// with a diagnostic (rather than silently running nothing) when the
+/// filter names unknown workloads.
+pub fn selected_workloads() -> Vec<Workload> {
+    let filter = workload_filter();
+    match select_workloads(filter.as_deref()) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn select_workloads_resolves_and_rejects() {
+        // No filter: the whole suite.
+        let all = select_workloads(None).expect("full suite");
+        assert_eq!(all.len(), encore_workloads::all().len());
+
+        // A valid subset, in suite order regardless of filter order.
+        let names = vec!["g721encode".to_string(), "rawcaudio".to_string()];
+        let picked = select_workloads(Some(&names)).expect("known names");
+        let picked_names: Vec<&str> = picked.iter().map(|w| w.name).collect();
+        assert_eq!(picked_names.len(), 2);
+        assert!(picked_names.contains(&"rawcaudio") && picked_names.contains(&"g721encode"));
+
+        // Typos are reported, not silently dropped.
+        let bad = vec!["rawcaudio".to_string(), "g721encoed".to_string()];
+        let err = select_workloads(Some(&bad)).expect_err("typo must error");
+        assert_eq!(err.0, vec!["g721encoed".to_string()]);
+        assert!(err.to_string().contains("g721encoed"));
+        assert!(err.to_string().contains("known workloads"));
+
+        // An empty filter list selects nothing — also an error.
+        let err = select_workloads(Some(&[])).expect_err("empty filter must error");
+        assert!(err.0.is_empty());
+        assert!(err.to_string().contains("selected nothing"));
+    }
 
     #[test]
     fn prepare_and_run_one_workload() {

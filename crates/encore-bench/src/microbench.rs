@@ -1,0 +1,143 @@
+//! A dependency-free microbenchmark harness.
+//!
+//! Replaces Criterion for this workspace's `benches/` so `cargo bench`
+//! works fully offline. The methodology is deliberately simple: each
+//! benchmark is auto-calibrated to a target batch duration, run for a
+//! fixed number of timed iterations, and summarized by min / median /
+//! mean wall-clock time per iteration. No statistics beyond that — the
+//! benches exist to expose order-of-magnitude regressions and the
+//! parallel-campaign speedup, not microsecond-level noise.
+//!
+//! ```no_run
+//! let mut bench = encore_bench::microbench::Microbench::new("demo");
+//! bench.bench("nothing", || 1 + 1);
+//! bench.finish();
+//! ```
+
+use crate::report::Table;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Timing summary of one benchmark.
+#[derive(Clone, Debug)]
+pub struct Sample {
+    /// Benchmark label.
+    pub name: String,
+    /// Timed iterations performed.
+    pub iters: u32,
+    /// Fastest iteration, in nanoseconds.
+    pub min_ns: f64,
+    /// Median iteration, in nanoseconds.
+    pub median_ns: f64,
+    /// Mean iteration, in nanoseconds.
+    pub mean_ns: f64,
+}
+
+/// Renders nanoseconds with an adaptive unit.
+fn human_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2} us", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// A named group of microbenchmarks, rendered as one table.
+#[derive(Debug)]
+pub struct Microbench {
+    title: String,
+    target: Duration,
+    max_iters: u32,
+    samples: Vec<Sample>,
+}
+
+impl Microbench {
+    /// A group with the default per-benchmark time budget (~1 s).
+    pub fn new(title: &str) -> Self {
+        Self::with_budget(title, Duration::from_millis(1000), 200)
+    }
+
+    /// A group with an explicit time budget and iteration cap.
+    pub fn with_budget(title: &str, target: Duration, max_iters: u32) -> Self {
+        Self { title: title.to_string(), target, max_iters, samples: Vec::new() }
+    }
+
+    /// Times `f`, auto-calibrating the iteration count so the whole
+    /// benchmark stays near the group's time budget. Returns the
+    /// summary (also retained for [`Microbench::finish`]).
+    pub fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) -> &Sample {
+        // One untimed warmup, also used to calibrate.
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let iters = (self.target.as_nanos() / once.as_nanos()).clamp(3, self.max_iters as u128)
+            as u32;
+
+        let mut times_ns: Vec<f64> = (0..iters)
+            .map(|_| {
+                let t = Instant::now();
+                black_box(f());
+                t.elapsed().as_nanos() as f64
+            })
+            .collect();
+        times_ns.sort_by(|a, b| a.total_cmp(b));
+        let sample = Sample {
+            name: name.to_string(),
+            iters,
+            min_ns: times_ns[0],
+            median_ns: times_ns[times_ns.len() / 2],
+            mean_ns: times_ns.iter().sum::<f64>() / times_ns.len() as f64,
+        };
+        self.samples.push(sample);
+        self.samples.last().expect("just pushed")
+    }
+
+    /// Prints the group's results as an aligned table.
+    pub fn finish(self) {
+        println!("\n## {}\n", self.title);
+        let mut table = Table::new(&["benchmark", "iters", "min", "median", "mean"]);
+        for s in &self.samples {
+            table.row(vec![
+                s.name.clone(),
+                s.iters.to_string(),
+                human_ns(s.min_ns),
+                human_ns(s.median_ns),
+                human_ns(s.mean_ns),
+            ]);
+        }
+        println!("{}", table.render());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_and_summary() {
+        let mut mb = Microbench::with_budget("t", Duration::from_millis(5), 16);
+        let s = mb.bench("spin", || {
+            let mut acc = 0u64;
+            for i in 0..1000u64 {
+                acc = acc.wrapping_add(black_box(i));
+            }
+            acc
+        });
+        assert!(s.iters >= 3 && s.iters <= 16);
+        assert!(s.min_ns > 0.0);
+        assert!(s.min_ns <= s.median_ns && s.median_ns <= s.mean_ns * 2.0);
+    }
+
+    #[test]
+    fn human_units() {
+        assert_eq!(human_ns(500.0), "500 ns");
+        assert_eq!(human_ns(2_500.0), "2.50 us");
+        assert_eq!(human_ns(3_000_000.0), "3.00 ms");
+        assert_eq!(human_ns(1.5e9), "1.50 s");
+    }
+}

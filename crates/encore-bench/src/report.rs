@@ -1,8 +1,14 @@
-//! Plain-text table rendering for the experiment binaries.
+//! Plain-text table and JSON rendering for the experiment binaries.
 //!
 //! The harnesses print the same rows/series the paper's figures plot; a
 //! small fixed-width table keeps the output diff-able and easy to paste
-//! into `EXPERIMENTS.md`.
+//! into `EXPERIMENTS.md`. Campaign results additionally render as
+//! hand-rolled JSON ([`campaign_json`]) so downstream tooling can
+//! consume a full SFI campaign — outcome counts plus per-outcome
+//! detection-latency histograms — without any serialization dependency.
+
+use encore_core::alpha_at_latency;
+use encore_sim::{CampaignReport, FaultOutcome, LATENCY_BINS};
 
 /// A fixed-width text table.
 #[derive(Clone, Debug, Default)]
@@ -62,6 +68,106 @@ impl Table {
     }
 }
 
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a full SFI campaign as a JSON object: configuration
+/// (including the `(seed, …)` needed to replay any injection), outcome
+/// counts, derived fractions, and the per-outcome detection-latency
+/// histograms.
+pub fn campaign_json(workload: &str, report: &CampaignReport) -> String {
+    let c = &report.config;
+    let s = &report.stats;
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"workload\": \"{}\",\n", json_escape(workload)));
+    out.push_str(&format!(
+        "  \"config\": {{\"injections\": {}, \"dmax\": {}, \"seed\": {}, \
+         \"fuel_factor\": {}, \"workers\": {}}},\n",
+        c.injections, c.dmax, c.seed, c.fuel_factor, c.workers
+    ));
+    out.push_str("  \"outcomes\": {");
+    for (i, o) in FaultOutcome::ALL.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("\"{}\": {}", o.label(), s.count(*o)));
+    }
+    out.push_str("},\n");
+    out.push_str(&format!(
+        "  \"safe_fraction\": {:.6},\n  \"recovered_fraction\": {:.6},\n",
+        s.safe_fraction(),
+        s.recovered_fraction()
+    ));
+    out.push_str("  \"latency_histograms\": {\n");
+    for (i, o) in FaultOutcome::ALL.iter().enumerate() {
+        let h = report.latency_of(*o);
+        let bins: Vec<String> = h.bins.iter().map(u64::to_string).collect();
+        out.push_str(&format!(
+            "    \"{}\": {{\"dmax\": {}, \"bins\": [{}]}}{}\n",
+            o.label(),
+            h.dmax,
+            bins.join(", "),
+            if i + 1 < FaultOutcome::ALL.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+/// Tabulates recovery rate per detection-latency bin, cross-validating
+/// the measured campaign against Eq. 6's point prediction
+/// [`alpha_at_latency`] when a representative protected-region hot-path
+/// length is supplied.
+pub fn latency_table(report: &CampaignReport, hot_len: Option<u64>) -> Table {
+    let mut header = vec!["latency", "injections", "recovered", "measured"];
+    if hot_len.is_some() {
+        header.push("Eq.6 predicts");
+    }
+    let mut table = Table::new(&header);
+    let recovered = report.latency_of(FaultOutcome::Recovered);
+    for bin in 0..LATENCY_BINS {
+        let (lo, hi) = recovered.bin_range(bin);
+        let total: u64 = FaultOutcome::ALL
+            .iter()
+            .map(|o| report.latency_of(*o).bins[bin])
+            .sum();
+        if total == 0 {
+            continue;
+        }
+        // Benign outcomes never needed the rollback machinery, so the
+        // recovery rate is measured among injections a detector acted on.
+        let benign = report.latency_of(FaultOutcome::Benign).bins[bin];
+        let active = total - benign;
+        let rec = recovered.bins[bin];
+        let mut row = vec![
+            format!("[{lo}, {})", hi),
+            total.to_string(),
+            rec.to_string(),
+            if active == 0 { "-".to_string() } else { pct(rec as f64 / active as f64) },
+        ];
+        if let Some(n) = hot_len {
+            row.push(pct(alpha_at_latency(n, (lo + hi.saturating_sub(1)) / 2)));
+        }
+        table.row(row);
+    }
+    table
+}
+
 /// Formats a fraction as a percentage with one decimal.
 pub fn pct(x: f64) -> String {
     format!("{:.1}%", x * 100.0)
@@ -98,5 +204,56 @@ mod tests {
     fn pct_formats() {
         assert_eq!(pct(0.1234), "12.3%");
         assert_eq!(f2(1.005), "1.00");
+    }
+
+    #[test]
+    fn json_escapes_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    fn tiny_report() -> CampaignReport {
+        use encore_sim::{FaultPlan, SfiConfig};
+        let config = SfiConfig { injections: 3, dmax: 15, seed: 9, ..Default::default() };
+        let mut report = CampaignReport::new(config);
+        report.record(
+            FaultPlan { inject_at: 0, bit: 0, detect_latency: 0 },
+            FaultOutcome::Recovered,
+        );
+        report.record(
+            FaultPlan { inject_at: 1, bit: 1, detect_latency: 7 },
+            FaultOutcome::Benign,
+        );
+        report.record(
+            FaultPlan { inject_at: 2, bit: 2, detect_latency: 15 },
+            FaultOutcome::SilentCorruption,
+        );
+        report
+    }
+
+    #[test]
+    fn campaign_json_is_complete_and_balanced() {
+        let json = campaign_json("g721encode", &tiny_report());
+        for key in [
+            "\"workload\": \"g721encode\"",
+            "\"seed\": 9",
+            "\"recovered\": 1",
+            "\"benign\": 1",
+            "\"silent_corruption\": 1",
+            "\"latency_histograms\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in:\n{json}");
+        }
+        // Structurally balanced (cheap sanity without a JSON parser).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn latency_table_covers_all_recorded_bins() {
+        let table = latency_table(&tiny_report(), Some(100));
+        let rendered = table.render();
+        // Three distinct latencies at dmax=15 land in three bins.
+        assert_eq!(rendered.lines().count(), 2 + 3, "{rendered}");
+        assert!(rendered.contains("Eq.6 predicts"));
     }
 }

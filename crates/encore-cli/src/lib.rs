@@ -57,6 +57,11 @@ pub struct Options {
     pub injections: usize,
     /// Detection latency bound.
     pub dmax: u64,
+    /// Campaign seed for `sfi`; with `--workers`, results are
+    /// bit-identical for any worker count.
+    pub seed: u64,
+    /// Worker threads for `sfi` (0 = all available cores).
+    pub workers: usize,
     /// Output path for commands that write files.
     pub output: Option<String>,
 }
@@ -71,6 +76,8 @@ impl Default for Options {
             pmin: Some(0.0),
             injections: 200,
             dmax: 100,
+            seed: SfiConfig::default().seed,
+            workers: 0,
             output: None,
         }
     }
@@ -120,6 +127,15 @@ impl Options {
                 "--dmax" => {
                     opts.dmax =
                         take("--dmax")?.parse().map_err(|e| err(format!("--dmax: {e}")))?
+                }
+                "--seed" => {
+                    opts.seed =
+                        take("--seed")?.parse().map_err(|e| err(format!("--seed: {e}")))?
+                }
+                "--workers" => {
+                    opts.workers = take("--workers")?
+                        .parse()
+                        .map_err(|e| err(format!("--workers: {e}")))?
                 }
                 "-o" | "--output" => opts.output = Some(take("-o")?.clone()),
                 flag if flag.starts_with('-') => {
@@ -344,6 +360,8 @@ pub fn cmd_sfi(text: &str, opts: &Options) -> Result<String, CliError> {
     let sfi = SfiConfig {
         injections: opts.injections,
         dmax: opts.dmax,
+        seed: opts.seed,
+        workers: opts.workers,
         ..Default::default()
     };
     let campaign = SfiCampaign::new(
@@ -356,6 +374,13 @@ pub fn cmd_sfi(text: &str, opts: &Options) -> Result<String, CliError> {
     let stats = campaign.run(&sfi);
     let composed = MaskingModel::arm926().compose(&stats);
     let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "seed: {:#x}  workers: {}  (same seed => bit-identical stats at any \
+         worker count; replay injection i from (seed, i))",
+        sfi.seed,
+        sfi.effective_workers()
+    );
     let _ = writeln!(out, "injections:               {}", stats.injections);
     let _ = writeln!(out, "benign (sw-masked):       {}", stats.benign);
     let _ = writeln!(out, "recovered by rollback:    {}", stats.recovered);
@@ -414,6 +439,9 @@ FLAGS:
     --pmin F|none       pruning threshold          (default 0.0)
     --injections N      sfi fault count            (default 200)
     --dmax N            detection latency bound    (default 100)
+    --seed N            sfi campaign seed (same seed reproduces the
+                        campaign bit-for-bit at any worker count)
+    --workers N         sfi worker threads         (default 0 = all cores)
     -o, --output PATH   write output to a file
 "
     .to_string()
@@ -543,6 +571,33 @@ mod tests {
         let out = cmd_sfi(&text, &opts).expect("campaign runs");
         assert!(out.contains("injections:               20"), "{out}");
         assert!(out.contains("safe fraction"));
+    }
+
+    #[test]
+    fn sfi_seed_and_workers_flags_reproduce_bit_identically() {
+        let text = demo_text("rawcaudio");
+        let args = |workers: &str| {
+            Options::parse(&[
+                "--train-arg".into(),
+                "64".into(),
+                "--eval-arg".into(),
+                "96".into(),
+                "--injections".into(),
+                "24".into(),
+                "--seed".into(),
+                "42".into(),
+                "--workers".into(),
+                workers.into(),
+            ])
+            .unwrap()
+            .1
+        };
+        let one = cmd_sfi(&text, &args("1")).expect("sequential campaign");
+        let four = cmd_sfi(&text, &args("4")).expect("parallel campaign");
+        // Identical modulo the reported worker count itself.
+        let strip = |s: &str| s.lines().skip(1).collect::<Vec<_>>().join("\n");
+        assert_eq!(strip(&one), strip(&four));
+        assert!(one.contains("seed: 0x2a"), "{one}");
     }
 
     #[test]

@@ -43,6 +43,32 @@ pub fn alpha(n: u64, dmax: u64) -> f64 {
     }
 }
 
+/// The point version of Eq. 6: probability that a fault at a uniform
+/// hot-path site of a region with hot-path length `n` is detected
+/// before control leaves the region, given a **fixed** detection
+/// latency `l` (instead of Eq. 7's uniform average over `[0, Dmax]`):
+/// `P(s + l < n) = max(0, (n − l)/n)`.
+///
+/// This is what an SFI campaign's per-latency-bin recovery rates
+/// empirically estimate, so the campaign report uses it to
+/// cross-validate the analytic model against measured histograms.
+///
+/// # Examples
+///
+/// ```
+/// use encore_core::alpha_at_latency;
+///
+/// assert_eq!(alpha_at_latency(100, 0), 1.0);   // instant detection
+/// assert_eq!(alpha_at_latency(100, 50), 0.5);  // half the sites escape
+/// assert_eq!(alpha_at_latency(100, 200), 0.0); // always escapes
+/// ```
+pub fn alpha_at_latency(n: u64, l: u64) -> f64 {
+    if n == 0 || l >= n {
+        return 0.0;
+    }
+    (n - l) as f64 / n as f64
+}
+
 /// How execution time divides among region protection classes
 /// (Figure 6's stack, as fractions of total dynamic instructions).
 #[derive(Clone, Copy, PartialEq, Debug, Default)]
@@ -171,6 +197,23 @@ mod tests {
     fn alpha_edge_cases() {
         assert_eq!(alpha(0, 100), 0.0);
         assert_eq!(alpha(100, 0), 1.0);
+    }
+
+    #[test]
+    fn alpha_at_latency_is_eq6_pointwise() {
+        // Averaging the point version over l ~ U[0, Dmax] recovers
+        // Eq. 7's α (up to the discretization of the sum).
+        let (n, dmax) = (1000u64, 100u64);
+        let mean: f64 =
+            (0..=dmax).map(|l| alpha_at_latency(n, l)).sum::<f64>() / (dmax + 1) as f64;
+        assert!((mean - alpha(n, dmax)).abs() < 1e-3, "mean {mean} vs α {}", alpha(n, dmax));
+        // Monotone non-increasing in latency.
+        let mut prev = 1.0;
+        for l in [0u64, 1, 10, 100, 999, 1000, 2000] {
+            let a = alpha_at_latency(n, l);
+            assert!(a <= prev);
+            prev = a;
+        }
     }
 
     #[test]

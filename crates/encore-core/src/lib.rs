@@ -33,7 +33,7 @@ pub mod trace;
 pub mod viz;
 
 pub use config::EncoreConfig;
-pub use coverage::{alpha, CoverageModel, FullSystemCoverage};
+pub use coverage::{alpha, alpha_at_latency, CoverageModel, FullSystemCoverage};
 pub use idempotence::{
     IdempotenceAnalyzer, LoopSummary, RegionAnalysis, RegionSpec, Verdict, Violation,
 };

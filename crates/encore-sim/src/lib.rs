@@ -39,6 +39,7 @@ mod externs;
 mod interp;
 mod masking;
 mod memory;
+pub mod rng;
 mod sfi;
 mod value;
 
@@ -46,5 +47,8 @@ pub use externs::Externs;
 pub use interp::{run_function, FaultPlan, FaultTelemetry, RunConfig, RunResult, Trap, TrapKind};
 pub use masking::{ComposedCoverage, MaskingModel};
 pub use memory::{MemError, MemObject, Memory};
-pub use sfi::{FaultOutcome, SfiCampaign, SfiConfig, SfiStats};
+pub use sfi::{
+    CampaignReport, FaultOutcome, LatencyHistogram, SfiCampaign, SfiConfig, SfiStats,
+    LATENCY_BINS,
+};
 pub use value::{eval_bin, eval_un, EvalError, Value};

@@ -6,13 +6,27 @@
 //! flips into architecturally visible values of the interpreted program,
 //! models detection latency, lets the Encore runtime roll back, and
 //! classifies each run against the golden (fault-free) execution.
+//!
+//! # Parallel, reproducible campaigns
+//!
+//! Each injection's [`FaultPlan`] is a pure function of the campaign
+//! seed and the injection index ([`SfiConfig::plan_for`], built on
+//! [`SplitMix64::for_index`]), never of a shared generator's mutable
+//! state. [`SfiCampaign::run`] therefore shards the index space across
+//! `std::thread::scope` workers and still produces **bit-identical**
+//! [`SfiStats`] for any worker count — and any single injection can be
+//! replayed in isolation from its `(seed, index)` pair alone:
+//!
+//! ```text
+//! let plan = campaign.plan_for_index(&config, index);
+//! let outcome = campaign.run_one(plan);
+//! ```
 
 use crate::interp::{run_function, FaultPlan, RunConfig, RunResult, TrapKind};
+use crate::rng::{Rng, SplitMix64};
 use crate::value::Value;
 use encore_core::RegionMap;
 use encore_ir::{FuncId, Module};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Classification of one fault-injection run.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -37,6 +51,44 @@ pub enum FaultOutcome {
     Hung,
 }
 
+impl FaultOutcome {
+    /// Every outcome, in reporting order.
+    pub const ALL: [FaultOutcome; 6] = [
+        FaultOutcome::Benign,
+        FaultOutcome::Recovered,
+        FaultOutcome::SilentCorruption,
+        FaultOutcome::DetectedUnrecoverable,
+        FaultOutcome::Crashed,
+        FaultOutcome::Hung,
+    ];
+
+    /// Dense index of this outcome in [`FaultOutcome::ALL`].
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            FaultOutcome::Benign => 0,
+            FaultOutcome::Recovered => 1,
+            FaultOutcome::SilentCorruption => 2,
+            FaultOutcome::DetectedUnrecoverable => 3,
+            FaultOutcome::Crashed => 4,
+            FaultOutcome::Hung => 5,
+        }
+    }
+
+    /// Stable snake_case label (used as JSON keys in campaign reports).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultOutcome::Benign => "benign",
+            FaultOutcome::Recovered => "recovered",
+            FaultOutcome::SilentCorruption => "silent_corruption",
+            FaultOutcome::DetectedUnrecoverable => "detected_unrecoverable",
+            FaultOutcome::Crashed => "crashed",
+            FaultOutcome::Hung => "hung",
+        }
+    }
+}
+
 /// SFI campaign parameters.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct SfiConfig {
@@ -45,16 +97,50 @@ pub struct SfiConfig {
     /// Maximum detection latency (`Dmax`); latency is sampled uniformly
     /// from `[0, Dmax]`.
     pub dmax: u64,
-    /// RNG seed (campaigns are reproducible).
+    /// RNG seed. Campaigns are reproducible: the same seed yields
+    /// bit-identical [`SfiStats`] for **any** worker count, and
+    /// injection `i` can be replayed alone from `(seed, i)`.
     pub seed: u64,
     /// Fuel multiplier over the golden run's dynamic instruction count
     /// (faulted runs may loop longer before detection).
     pub fuel_factor: u64,
+    /// Worker threads for [`SfiCampaign::run`]; `0` (the default) uses
+    /// [`std::thread::available_parallelism`].
+    pub workers: usize,
 }
 
 impl Default for SfiConfig {
     fn default() -> Self {
-        Self { injections: 200, dmax: 100, seed: 0xE7_C04E, fuel_factor: 4 }
+        Self { injections: 200, dmax: 100, seed: 0xE7_C04E, fuel_factor: 4, workers: 0 }
+    }
+}
+
+impl SfiConfig {
+    /// The worker count [`SfiCampaign::run`] will actually use.
+    #[must_use]
+    pub fn effective_workers(&self) -> usize {
+        let n = if self.workers == 0 {
+            std::thread::available_parallelism().map(usize::from).unwrap_or(1)
+        } else {
+            self.workers
+        };
+        // More workers than injections just spawns idle threads.
+        n.clamp(1, self.injections.max(1))
+    }
+
+    /// The fault plan of injection `index`, given the golden run's
+    /// eligible-instruction count.
+    ///
+    /// A pure function of `(self.seed, index)` — thread- and
+    /// order-independent by construction.
+    #[must_use]
+    pub fn plan_for(&self, index: u64, eligible_insts: u64) -> FaultPlan {
+        let mut rng = SplitMix64::for_index(self.seed, index);
+        FaultPlan {
+            inject_at: rng.gen_below(eligible_insts.max(1)),
+            bit: rng.gen_below(64) as u8,
+            detect_latency: rng.gen_range_inclusive(0, self.dmax),
+        }
     }
 }
 
@@ -90,6 +176,30 @@ impl SfiStats {
         }
     }
 
+    /// The count recorded for `outcome`.
+    #[must_use]
+    pub fn count(&self, outcome: FaultOutcome) -> usize {
+        match outcome {
+            FaultOutcome::Benign => self.benign,
+            FaultOutcome::Recovered => self.recovered,
+            FaultOutcome::SilentCorruption => self.silent_corruption,
+            FaultOutcome::DetectedUnrecoverable => self.detected_unrecoverable,
+            FaultOutcome::Crashed => self.crashed,
+            FaultOutcome::Hung => self.hung,
+        }
+    }
+
+    /// Adds another shard's counts into this one.
+    pub fn merge(&mut self, other: &SfiStats) {
+        self.injections += other.injections;
+        self.benign += other.benign;
+        self.recovered += other.recovered;
+        self.silent_corruption += other.silent_corruption;
+        self.detected_unrecoverable += other.detected_unrecoverable;
+        self.crashed += other.crashed;
+        self.hung += other.hung;
+    }
+
     /// Fraction of injections that ended with correct architectural
     /// state (benign or recovered).
     pub fn safe_fraction(&self) -> f64 {
@@ -110,6 +220,113 @@ impl SfiStats {
     /// Fraction ending in any failure (SDC, unrecoverable, crash, hang).
     pub fn failure_fraction(&self) -> f64 {
         1.0 - self.safe_fraction()
+    }
+}
+
+/// Number of bins in a [`LatencyHistogram`].
+pub const LATENCY_BINS: usize = 16;
+
+/// Histogram of sampled detection latencies over `[0, Dmax]`, in
+/// [`LATENCY_BINS`] equal-width bins.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct LatencyHistogram {
+    /// Upper latency bound the bins span (the campaign's `Dmax`).
+    pub dmax: u64,
+    /// Injection counts per bin.
+    pub bins: [u64; LATENCY_BINS],
+}
+
+impl LatencyHistogram {
+    /// An empty histogram over `[0, dmax]`.
+    #[must_use]
+    pub fn new(dmax: u64) -> Self {
+        Self { dmax, bins: [0; LATENCY_BINS] }
+    }
+
+    /// The bin index a latency falls into.
+    #[must_use]
+    pub fn bin_of(&self, latency: u64) -> usize {
+        if self.dmax == 0 {
+            return 0;
+        }
+        // Spread [0, dmax] over the bins; clamp covers latency == dmax.
+        ((latency as u128 * LATENCY_BINS as u128 / (self.dmax as u128 + 1)) as usize)
+            .min(LATENCY_BINS - 1)
+    }
+
+    /// Records one sampled latency.
+    pub fn record(&mut self, latency: u64) {
+        self.bins[self.bin_of(latency)] += 1;
+    }
+
+    /// Inclusive-exclusive latency range `[lo, hi)` covered by `bin`
+    /// (the last bin's `hi` is `dmax + 1`).
+    #[must_use]
+    pub fn bin_range(&self, bin: usize) -> (u64, u64) {
+        let width = self.dmax as u128 + 1;
+        let lo = (bin as u128 * width / LATENCY_BINS as u128) as u64;
+        let hi = ((bin as u128 + 1) * width / LATENCY_BINS as u128) as u64;
+        (lo, hi.max(lo + 1))
+    }
+
+    /// Total count across all bins.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.bins.iter().sum()
+    }
+
+    /// Adds another shard's bins into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        debug_assert_eq!(self.dmax, other.dmax, "merging histograms over different Dmax");
+        for (a, b) in self.bins.iter_mut().zip(other.bins.iter()) {
+            *a += b;
+        }
+    }
+}
+
+/// Full campaign result: aggregate stats plus, per outcome class, the
+/// histogram of the detection latencies that produced it — the raw
+/// material for cross-validating Eq. 6's latency model.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CampaignReport {
+    /// The configuration the campaign ran with.
+    pub config: SfiConfig,
+    /// Aggregate outcome counts.
+    pub stats: SfiStats,
+    /// Detection-latency histogram per outcome, indexed by
+    /// [`FaultOutcome::index`].
+    pub latency: [LatencyHistogram; FaultOutcome::ALL.len()],
+}
+
+impl CampaignReport {
+    /// An empty report for `config`.
+    #[must_use]
+    pub fn new(config: SfiConfig) -> Self {
+        Self {
+            config,
+            stats: SfiStats::default(),
+            latency: [LatencyHistogram::new(config.dmax); FaultOutcome::ALL.len()],
+        }
+    }
+
+    /// Records one classified injection.
+    pub fn record(&mut self, plan: FaultPlan, outcome: FaultOutcome) {
+        self.stats.record(outcome);
+        self.latency[outcome.index()].record(plan.detect_latency);
+    }
+
+    /// The latency histogram for one outcome class.
+    #[must_use]
+    pub fn latency_of(&self, outcome: FaultOutcome) -> &LatencyHistogram {
+        &self.latency[outcome.index()]
+    }
+
+    /// Adds another shard's counts into this one.
+    pub fn merge(&mut self, other: &CampaignReport) {
+        self.stats.merge(&other.stats);
+        for (a, b) in self.latency.iter_mut().zip(other.latency.iter()) {
+            a.merge(b);
+        }
     }
 }
 
@@ -153,6 +370,14 @@ impl<'a> SfiCampaign<'a> {
         &self.golden
     }
 
+    /// The plan injection `index` of a campaign under `config` would
+    /// run — use with [`SfiCampaign::run_one`] to replay a single
+    /// injection from its `(seed, index)` pair.
+    #[must_use]
+    pub fn plan_for_index(&self, config: &SfiConfig, index: u64) -> FaultPlan {
+        config.plan_for(index, self.golden.eligible_insts)
+    }
+
     /// Runs one injection described by `plan` and classifies it.
     pub fn run_one(&self, plan: FaultPlan) -> FaultOutcome {
         let config = RunConfig {
@@ -180,22 +405,57 @@ impl<'a> SfiCampaign<'a> {
         }
     }
 
+    /// Runs the injections in `[lo, hi)` sequentially into a report.
+    fn run_shard(&self, config: &SfiConfig, space: u64, lo: u64, hi: u64) -> CampaignReport {
+        let mut report = CampaignReport::new(*config);
+        for index in lo..hi {
+            let plan = config.plan_for(index, space);
+            report.record(plan, self.run_one(plan));
+        }
+        report
+    }
+
     /// Runs a full campaign: `config.injections` faults at uniformly
     /// random eligible instructions, random bit, uniform latency in
-    /// `[0, Dmax]`.
+    /// `[0, Dmax]`, sharded across [`SfiConfig::effective_workers`]
+    /// threads. Results are bit-identical for any worker count.
     pub fn run(&self, config: &SfiConfig) -> SfiStats {
-        let mut rng = StdRng::seed_from_u64(config.seed);
-        let mut stats = SfiStats::default();
+        self.run_report(config).stats
+    }
+
+    /// Like [`SfiCampaign::run`], but returns the full report with
+    /// per-outcome detection-latency histograms.
+    pub fn run_report(&self, config: &SfiConfig) -> CampaignReport {
         let space = self.golden.eligible_insts.max(1);
-        for _ in 0..config.injections {
-            let plan = FaultPlan {
-                inject_at: rng.gen_range(0..space),
-                bit: rng.gen_range(0..64),
-                detect_latency: rng.gen_range(0..=config.dmax),
-            };
-            stats.record(self.run_one(plan));
+        let n = config.injections as u64;
+        let workers = self.effective_workers(config) as u64;
+        if workers <= 1 {
+            return self.run_shard(config, space, 0, n);
         }
-        stats
+        // Contiguous index ranges per worker; plans depend only on the
+        // index, so the partition is a pure load-balancing choice.
+        let per = n.div_ceil(workers);
+        let partials: Vec<CampaignReport> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let (lo, hi) = (w * per, ((w + 1) * per).min(n));
+                    scope.spawn(move || self.run_shard(config, space, lo, hi))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("SFI worker panicked"))
+                .collect()
+        });
+        let mut report = CampaignReport::new(*config);
+        for part in &partials {
+            report.merge(part);
+        }
+        report
+    }
+
+    fn effective_workers(&self, config: &SfiConfig) -> usize {
+        config.effective_workers()
     }
 }
 
@@ -320,6 +580,73 @@ mod tests {
     }
 
     #[test]
+    fn worker_count_does_not_change_results() {
+        let (m, map, fid) = protected_kernel();
+        let base = SfiConfig { injections: 50, seed: 7, workers: 1, ..Default::default() };
+        let campaign = SfiCampaign::new(&m, Some(&map), fid, &[Value::Int(32)], &base);
+        let sequential = campaign.run_report(&base);
+        for workers in [2, 3, 8, 64] {
+            let parallel =
+                campaign.run_report(&SfiConfig { workers, ..base });
+            assert_eq!(sequential.stats, parallel.stats, "stats diverged at {workers} workers");
+            assert_eq!(
+                sequential.latency, parallel.latency,
+                "histograms diverged at {workers} workers"
+            );
+        }
+    }
+
+    #[test]
+    fn plans_are_index_addressable() {
+        let config = SfiConfig { seed: 99, dmax: 50, ..Default::default() };
+        // Same (seed, index, space) → same plan; different index →
+        // (almost surely) different plan.
+        let a = config.plan_for(17, 1000);
+        let b = config.plan_for(17, 1000);
+        assert_eq!(a, b);
+        let c = config.plan_for(18, 1000);
+        assert_ne!(a, c);
+        assert!(a.inject_at < 1000 && a.bit < 64 && a.detect_latency <= 50);
+    }
+
+    #[test]
+    fn report_histograms_account_for_every_injection() {
+        let (m, map, fid) = protected_kernel();
+        let config = SfiConfig { injections: 30, dmax: 9, ..Default::default() };
+        let campaign = SfiCampaign::new(&m, Some(&map), fid, &[Value::Int(32)], &config);
+        let report = campaign.run_report(&config);
+        assert_eq!(report.stats.injections, 30);
+        let hist_total: u64 =
+            FaultOutcome::ALL.iter().map(|o| report.latency_of(*o).total()).sum();
+        assert_eq!(hist_total, 30);
+        for outcome in FaultOutcome::ALL {
+            assert_eq!(
+                report.latency_of(outcome).total() as usize,
+                report.stats.count(outcome),
+                "{outcome:?} histogram disagrees with stats"
+            );
+        }
+    }
+
+    #[test]
+    fn latency_histogram_bins_partition_the_range() {
+        let hist = LatencyHistogram::new(100);
+        let mut h = hist;
+        for l in 0..=100 {
+            h.record(l);
+        }
+        assert_eq!(h.total(), 101);
+        // Bin ranges tile [0, dmax] without gaps or overlap.
+        let mut expect_lo = 0;
+        for bin in 0..LATENCY_BINS {
+            let (lo, hi) = h.bin_range(bin);
+            assert_eq!(lo, expect_lo);
+            expect_lo = hi;
+        }
+        assert_eq!(expect_lo, 101);
+    }
+
+    #[test]
     fn deterministic_single_injection() {
         let (m, map, fid) = protected_kernel();
         let campaign =
@@ -328,5 +655,19 @@ mod tests {
         let a = campaign.run_one(plan);
         let b = campaign.run_one(plan);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn replay_matches_campaign_member() {
+        // An injection replayed from its (seed, index) pair reproduces
+        // the plan the full campaign used.
+        let (m, map, fid) = protected_kernel();
+        let config = SfiConfig { injections: 10, seed: 0xD00D, ..Default::default() };
+        let campaign = SfiCampaign::new(&m, Some(&map), fid, &[Value::Int(32)], &config);
+        for index in 0..10 {
+            let plan = campaign.plan_for_index(&config, index);
+            assert_eq!(plan, config.plan_for(index, campaign.golden().eligible_insts));
+            let _ = campaign.run_one(plan);
+        }
     }
 }

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Pre-merge check: the tier-1 gate, run fully offline.
+#
+# `--offline` is load-bearing, not an optimization: the workspace has a
+# zero-external-dependency policy (see DESIGN.md §7), and building with
+# the network forbidden is what enforces it — any crates.io dependency
+# that sneaks into a manifest fails this script immediately.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline --workspace
+
+echo "==> cargo test -q --offline"
+cargo test -q --offline --workspace
+
+echo "==> OK"

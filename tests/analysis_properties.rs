@@ -5,32 +5,35 @@
 
 mod common;
 
-use common::{build_program, stmt_strategy};
+use common::prop::{check, prop_assert, prop_assert_eq, Bounded};
+use common::{build_program, Stmt};
 use encore::analysis::{DomTree, IntervalHierarchy, LoopForest, Profile};
 use encore::analysis::{OptimisticAlias, StaticAlias};
 use encore::core::idempotence::{IdempotenceAnalyzer, RegionSpec, Verdict};
 use encore::ir::parse_module;
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+const CASES: u64 = 48;
 
-    /// `parse(print(m)) == m` for every generated module.
-    #[test]
-    fn print_parse_roundtrip(stmts in stmt_strategy()) {
-        let (module, _) = build_program(&stmts);
+/// `parse(print(m)) == m` for every generated module.
+#[test]
+fn print_parse_roundtrip() {
+    check::<Vec<Stmt>>("print_parse_roundtrip", CASES, |stmts| {
+        let (module, _) = build_program(stmts);
         let text = module.to_string();
         let reparsed = parse_module(&text)
             .unwrap_or_else(|e| panic!("parse failed: {e}\n{text}"));
         prop_assert_eq!(reparsed, module);
-    }
+        Ok(())
+    });
+}
 
-    /// Dominator-tree laws: the entry dominates everything reachable,
-    /// idom(b) strictly dominates b, and dominance is transitive along
-    /// idom chains.
-    #[test]
-    fn dominator_laws(stmts in stmt_strategy()) {
-        let (module, entry) = build_program(&stmts);
+/// Dominator-tree laws: the entry dominates everything reachable,
+/// idom(b) strictly dominates b, and dominance is transitive along
+/// idom chains.
+#[test]
+fn dominator_laws() {
+    check::<Vec<Stmt>>("dominator_laws", CASES, |stmts| {
+        let (module, entry) = build_program(stmts);
         let func = module.func(entry);
         let dom = DomTree::compute(func);
         for b in func.block_ids() {
@@ -44,13 +47,16 @@ proptest! {
                 prop_assert!(idom != b);
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Interval invariants: each level partitions the reachable blocks
-    /// and every interval header dominates its members (SEME-ness).
-    #[test]
-    fn interval_laws(stmts in stmt_strategy()) {
-        let (module, entry) = build_program(&stmts);
+/// Interval invariants: each level partitions the reachable blocks
+/// and every interval header dominates its members (SEME-ness).
+#[test]
+fn interval_laws() {
+    check::<Vec<Stmt>>("interval_laws", CASES, |stmts| {
+        let (module, entry) = build_program(stmts);
         let func = module.func(entry);
         let dom = DomTree::compute(func);
         let hierarchy = IntervalHierarchy::compute(func);
@@ -68,13 +74,16 @@ proptest! {
             }
             prop_assert_eq!(&seen, &reachable);
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Builder-generated CFGs are reducible: every cycle is a natural
-    /// loop and nesting is strict containment.
-    #[test]
-    fn loops_are_reducible(stmts in stmt_strategy()) {
-        let (module, entry) = build_program(&stmts);
+/// Builder-generated CFGs are reducible: every cycle is a natural
+/// loop and nesting is strict containment.
+#[test]
+fn loops_are_reducible() {
+    check::<Vec<Stmt>>("loops_are_reducible", CASES, |stmts| {
+        let (module, entry) = build_program(stmts);
         let func = module.func(entry);
         let dom = DomTree::compute(func);
         let forest = LoopForest::compute(func, &dom);
@@ -87,14 +96,17 @@ proptest! {
                 prop_assert!(p != i);
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// The optimistic oracle never needs more checkpoints than the
-    /// conservative one, and an idempotent-under-static region stays
-    /// idempotent under optimistic.
-    #[test]
-    fn optimistic_is_never_worse(stmts in stmt_strategy()) {
-        let (module, entry) = build_program(&stmts);
+/// The optimistic oracle never needs more checkpoints than the
+/// conservative one, and an idempotent-under-static region stays
+/// idempotent under optimistic.
+#[test]
+fn optimistic_is_never_worse() {
+    check::<Vec<Stmt>>("optimistic_is_never_worse", CASES, |stmts| {
+        let (module, entry) = build_program(stmts);
         let spec = RegionSpec {
             func: entry,
             header: module.func(entry).entry(),
@@ -108,12 +120,16 @@ proptest! {
         if st.verdict == Verdict::Idempotent {
             prop_assert_eq!(op.verdict, Verdict::Idempotent);
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Pruning blocks can only shrink the checkpoint set.
-    #[test]
-    fn pruning_shrinks_cp(stmts in stmt_strategy(), cutoff in 0u32..6) {
-        let (module, entry) = build_program(&stmts);
+/// Pruning blocks can only shrink the checkpoint set.
+#[test]
+fn pruning_shrinks_cp() {
+    check::<(Vec<Stmt>, Bounded<0, 6>)>("pruning_shrinks_cp", CASES, |(stmts, cutoff)| {
+        let cutoff = cutoff.0 as u32;
+        let (module, entry) = build_program(stmts);
         let spec = RegionSpec {
             func: entry,
             header: module.func(entry).entry(),
@@ -124,13 +140,16 @@ proptest! {
         // Prune a deterministic subset of non-header blocks.
         let pruned = az.analyze_region(&spec, &|b| b.raw() % 7 < cutoff && b.raw() != 0);
         prop_assert!(pruned.cp.len() <= full.cp.len());
-    }
+        Ok(())
+    });
+}
 
-    /// The whole pipeline is deterministic.
-    #[test]
-    fn pipeline_is_deterministic(stmts in stmt_strategy()) {
+/// The whole pipeline is deterministic.
+#[test]
+fn pipeline_is_deterministic() {
+    check::<Vec<Stmt>>("pipeline_is_deterministic", CASES, |stmts| {
         use encore::core::{Encore, EncoreConfig};
-        let (module, entry) = build_program(&stmts);
+        let (module, entry) = build_program(stmts);
         let train = encore::sim::run_function(
             &module,
             None,
@@ -143,5 +162,6 @@ proptest! {
         let b = Encore::new(EncoreConfig::default()).run(&module, &profile);
         prop_assert_eq!(a.instrumented.module, b.instrumented.module);
         prop_assert_eq!(a.est_overhead, b.est_overhead);
-    }
+        Ok(())
+    });
 }

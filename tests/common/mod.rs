@@ -1,5 +1,6 @@
-//! Shared test utilities: a proptest generator for random, terminating,
-//! memory-safe IR programs.
+//! Shared test utilities: a generator for random, terminating,
+//! memory-safe IR programs, on top of the in-repo property harness
+//! ([`prop`]).
 //!
 //! Programs are generated as statement trees (arithmetic, global
 //! loads/stores with constant or bounded dynamic indices, bounded `if`s
@@ -7,10 +8,14 @@
 //! completion, and is deterministic — the foundation for the end-to-end
 //! soundness properties in the integration tests.
 
+#![allow(dead_code)]
+
+pub mod prop;
+
 use encore_ir::{
     AddrExpr, BinOp, FuncId, FunctionBuilder, MemBase, Module, ModuleBuilder, Operand, Reg,
 };
-use proptest::prelude::*;
+use prop::{Arbitrary, Gen};
 
 /// Number of globals every generated module declares.
 pub const GLOBALS: usize = 3;
@@ -36,33 +41,109 @@ pub enum Stmt {
     For { trip: u8, body: Vec<Stmt> },
 }
 
-/// Strategy producing a statement list of bounded depth and size.
-pub fn stmt_strategy() -> impl Strategy<Value = Vec<Stmt>> {
-    prop::collection::vec(stmt_leaf_or_nested(), 1..10)
+/// Maximum statement-tree nesting depth (matches the old proptest
+/// strategy's `prop_recursive(3, ..)`).
+const MAX_DEPTH: usize = 3;
+
+fn gen_stmt(g: &mut Gen, depth: usize) -> Stmt {
+    // At positive depth, one in four statements nests.
+    if depth > 0 && g.chance(1, 4) {
+        if g.bool() {
+            Stmt::If {
+                cond: g.usize(8),
+                then_s: gen_stmt_list(g, depth - 1, 0, 4),
+                else_s: gen_stmt_list(g, depth - 1, 0, 4),
+            }
+        } else {
+            Stmt::For { trip: g.u8(1, 5), body: gen_stmt_list(g, depth - 1, 1, 4) }
+        }
+    } else {
+        match g.usize(5) {
+            0 => Stmt::Arith { op: g.usize(8), lhs: g.usize(8), rhs: g.i64(-4, 16) },
+            1 => Stmt::LoadG { g: g.usize(GLOBALS), off: g.i64(0, CELLS) },
+            2 => Stmt::StoreG { g: g.usize(GLOBALS), off: g.i64(0, CELLS), src: g.usize(8) },
+            3 => Stmt::LoadIdx { g: g.usize(GLOBALS), idx: g.usize(8) },
+            _ => Stmt::StoreIdx { g: g.usize(GLOBALS), idx: g.usize(8), src: g.usize(8) },
+        }
+    }
 }
 
-fn stmt_leaf_or_nested() -> impl Strategy<Value = Stmt> {
-    let leaf = prop_oneof![
-        (0usize..8, 0usize..8, -4i64..16).prop_map(|(op, lhs, rhs)| Stmt::Arith { op, lhs, rhs }),
-        (0usize..GLOBALS, 0..CELLS).prop_map(|(g, off)| Stmt::LoadG { g, off }),
-        (0usize..GLOBALS, 0..CELLS, 0usize..8)
-            .prop_map(|(g, off, src)| Stmt::StoreG { g, off, src }),
-        (0usize..GLOBALS, 0usize..8).prop_map(|(g, idx)| Stmt::LoadIdx { g, idx }),
-        (0usize..GLOBALS, 0usize..8, 0usize..8)
-            .prop_map(|(g, idx, src)| Stmt::StoreIdx { g, idx, src }),
-    ];
-    leaf.prop_recursive(3, 32, 5, |inner| {
-        prop_oneof![
-            (
-                0usize..8,
-                prop::collection::vec(inner.clone(), 0..4),
-                prop::collection::vec(inner.clone(), 0..4)
-            )
-                .prop_map(|(cond, then_s, else_s)| Stmt::If { cond, then_s, else_s }),
-            (1u8..5, prop::collection::vec(inner, 1..4))
-                .prop_map(|(trip, body)| Stmt::For { trip, body }),
-        ]
-    })
+fn gen_stmt_list(g: &mut Gen, depth: usize, lo: usize, hi: usize) -> Vec<Stmt> {
+    let len = lo + g.usize(hi - lo);
+    (0..len).map(|_| gen_stmt(g, depth)).collect()
+}
+
+/// Smaller variants of one statement (empty for irreducible leaves).
+fn shrink_stmt(s: &Stmt) -> Vec<Stmt> {
+    match s {
+        Stmt::Arith { op, lhs, rhs } if *rhs != 0 => {
+            vec![Stmt::Arith { op: *op, lhs: *lhs, rhs: 0 }]
+        }
+        Stmt::If { cond, then_s, else_s } => {
+            let mut out = Vec::new();
+            for t in then_s.shrink() {
+                out.push(Stmt::If { cond: *cond, then_s: t, else_s: else_s.clone() });
+            }
+            for e in else_s.shrink() {
+                out.push(Stmt::If { cond: *cond, then_s: then_s.clone(), else_s: e });
+            }
+            out
+        }
+        Stmt::For { trip, body } => {
+            let mut out = Vec::new();
+            if *trip > 1 {
+                out.push(Stmt::For { trip: 1, body: body.clone() });
+            }
+            for b in body.shrink() {
+                if !b.is_empty() {
+                    out.push(Stmt::For { trip: *trip, body: b });
+                }
+            }
+            out
+        }
+        _ => Vec::new(),
+    }
+}
+
+impl Arbitrary for Vec<Stmt> {
+    fn arbitrary(g: &mut Gen) -> Self {
+        gen_stmt_list(g, MAX_DEPTH, 1, 10)
+    }
+
+    fn shrink(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        // Drop one statement.
+        for i in 0..self.len() {
+            let mut v = self.clone();
+            v.remove(i);
+            out.push(v);
+        }
+        // Splice a nested statement's body into the list (removes one
+        // level of control flow while keeping the leaves that matter).
+        for i in 0..self.len() {
+            let inner: Option<Vec<Stmt>> = match &self[i] {
+                Stmt::If { then_s, else_s, .. } => {
+                    Some(then_s.iter().chain(else_s.iter()).cloned().collect())
+                }
+                Stmt::For { body, .. } => Some(body.clone()),
+                _ => None,
+            };
+            if let Some(inner) = inner {
+                let mut v = self.clone();
+                v.splice(i..=i, inner);
+                out.push(v);
+            }
+        }
+        // Shrink one statement in place.
+        for i in 0..self.len() {
+            for s in shrink_stmt(&self[i]) {
+                let mut v = self.clone();
+                v[i] = s;
+                out.push(v);
+            }
+        }
+        out
+    }
 }
 
 const OPS: [BinOp; 8] = [

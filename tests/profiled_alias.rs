@@ -4,13 +4,13 @@
 
 mod common;
 
-use common::{build_program, stmt_strategy};
+use common::prop::{check, prop_assert};
+use common::{build_program, Stmt};
 use encore::analysis::{AliasMode, ProfiledAlias, StaticAlias};
 use encore::core::idempotence::{IdempotenceAnalyzer, RegionSpec};
 use encore::core::{Encore, EncoreConfig};
 use encore::ir::{AddrExpr, BinOp, MemBase, ModuleBuilder, Operand};
 use encore::sim::{run_function, RunConfig, Value};
-use proptest::prelude::*;
 use std::sync::Arc;
 
 /// An arena kernel: input half and output half of one global. Statically
@@ -119,15 +119,13 @@ fn mesa_and_equake_gain_from_profiling() {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
-
-    /// On random programs the profiled oracle never needs more
-    /// checkpoints than the static one, and the instrumented module is
-    /// still transparent.
-    #[test]
-    fn profiled_never_worse_than_static(stmts in stmt_strategy()) {
-        let (m, entry) = build_program(&stmts);
+/// On random programs the profiled oracle never needs more
+/// checkpoints than the static one, and the instrumented module is
+/// still transparent.
+#[test]
+fn profiled_never_worse_than_static() {
+    check::<Vec<Stmt>>("profiled_never_worse_than_static", 24, |stmts| {
+        let (m, entry) = build_program(stmts);
         let profile = train(&m, entry, 5);
         let spec = RegionSpec {
             func: entry,
@@ -157,5 +155,6 @@ proptest! {
             &RunConfig::default(),
         );
         prop_assert!(instrumented.observably_equal(&baseline));
-    }
+        Ok(())
+    });
 }

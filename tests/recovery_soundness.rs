@@ -12,10 +12,10 @@
 
 mod common;
 
-use common::{build_program, stmt_strategy};
+use common::prop::{check, prop_assert};
+use common::{build_program, Stmt};
 use encore::core::{Encore, EncoreConfig};
 use encore::sim::{run_function, FaultPlan, RunConfig, Value};
-use proptest::prelude::*;
 
 /// Instruments with an unlimited budget and no pruning; checks the
 /// latency-0 property for `probes` injection points spread over the run.
@@ -128,22 +128,23 @@ fn rollback_actually_happens_under_short_latency() {
     assert!(rollbacks > 0, "no injection ever triggered a rollback");
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
-
-    /// Latency-0 recovery holds on random programs, not just the curated
-    /// suite.
-    #[test]
-    fn latency_zero_recovery_on_random_programs(stmts in stmt_strategy()) {
-        let (module, entry) = build_program(&stmts);
+/// Latency-0 recovery holds on random programs, not just the curated
+/// suite.
+#[test]
+fn latency_zero_recovery_on_random_programs() {
+    check::<Vec<Stmt>>("latency_zero_recovery_on_random_programs", 24, |stmts| {
+        let (module, entry) = build_program(stmts);
         check_latency_zero(&module, entry, 5, 12);
-    }
+        Ok(())
+    });
+}
 
-    /// Instrumentation never changes fault-free behavior on random
-    /// programs.
-    #[test]
-    fn instrumentation_is_transparent_on_random_programs(stmts in stmt_strategy()) {
-        let (module, entry) = build_program(&stmts);
+/// Instrumentation never changes fault-free behavior on random
+/// programs.
+#[test]
+fn instrumentation_is_transparent_on_random_programs() {
+    check::<Vec<Stmt>>("instrumentation_is_transparent_on_random_programs", 24, |stmts| {
+        let (module, entry) = build_program(stmts);
         let train = run_function(
             &module,
             None,
@@ -166,5 +167,6 @@ proptest! {
         );
         prop_assert!(instrumented.completed);
         prop_assert!(instrumented.observably_equal(&baseline));
-    }
+        Ok(())
+    });
 }

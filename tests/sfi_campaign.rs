@@ -1,0 +1,96 @@
+//! Determinism guarantees of the parallel fault-injection engine,
+//! checked end-to-end on a real instrumented workload:
+//!
+//! * the same seed yields bit-identical results at **any** worker
+//!   count (sharding is a pure load-balancing choice), and
+//! * any single injection can be replayed in isolation from its
+//!   `(seed, index)` pair — the whole campaign is just the sum of its
+//!   independently derivable members.
+
+use encore::core::{Encore, EncoreConfig};
+use encore::sim::{run_function, CampaignReport, RunConfig, SfiCampaign, SfiConfig, Value};
+
+/// Profiles and instruments `name`, returning the protected module and
+/// its region map (owned, so tests can borrow them into a campaign).
+fn instrument(name: &str) -> (encore_ir::Module, encore::core::RegionMap, encore_ir::FuncId, i64) {
+    let w = encore::workloads::by_name(name).expect("known workload");
+    let train = run_function(
+        &w.module,
+        None,
+        w.entry,
+        &[Value::Int(w.train_arg)],
+        &RunConfig { collect_profile: true, ..Default::default() },
+    );
+    assert!(train.completed);
+    let outcome = Encore::new(EncoreConfig::default().with_overhead_budget(1e9))
+        .run(&w.module, train.profile.as_ref().unwrap());
+    (outcome.instrumented.module, outcome.instrumented.map, w.entry, w.eval_arg)
+}
+
+fn config(injections: usize, workers: usize) -> SfiConfig {
+    SfiConfig { injections, dmax: 64, seed: 0xDEC0DE, workers, ..Default::default() }
+}
+
+/// Outcome-relevant parts of a report (its `config` records the worker
+/// count, which legitimately differs between the runs under test).
+fn results(r: &CampaignReport) -> (encore::sim::SfiStats, &[encore::sim::LatencyHistogram]) {
+    (r.stats, &r.latency)
+}
+
+#[test]
+fn parallel_campaign_is_bit_identical_to_sequential() {
+    let (module, map, entry, arg) = instrument("rawcaudio");
+    let base = config(96, 1);
+    let campaign = SfiCampaign::new(&module, Some(&map), entry, &[Value::Int(arg)], &base);
+    let sequential = campaign.run_report(&base);
+    assert_eq!(sequential.stats.injections, 96);
+
+    for workers in [2, 3, 8] {
+        let parallel = campaign.run_report(&config(96, workers));
+        assert_eq!(
+            results(&sequential),
+            results(&parallel),
+            "workers = {workers} changed campaign results"
+        );
+    }
+}
+
+#[test]
+fn same_seed_twice_is_bit_identical() {
+    let (module, map, entry, arg) = instrument("rawcaudio");
+    let cfg = config(96, 4);
+    let campaign = SfiCampaign::new(&module, Some(&map), entry, &[Value::Int(arg)], &cfg);
+    let first = campaign.run_report(&cfg);
+    let second = campaign.run_report(&cfg);
+    assert_eq!(first, second);
+}
+
+#[test]
+fn different_seeds_draw_different_plans() {
+    let (module, map, entry, arg) = instrument("rawcaudio");
+    let a = config(96, 1);
+    let b = SfiConfig { seed: a.seed ^ 1, ..a };
+    let campaign = SfiCampaign::new(&module, Some(&map), entry, &[Value::Int(arg)], &a);
+    assert!(
+        (0..16).any(|i| campaign.plan_for_index(&a, i) != campaign.plan_for_index(&b, i)),
+        "independent seeds produced identical plans for the first 16 injections"
+    );
+}
+
+/// Every member of a parallel campaign can be replayed alone from its
+/// `(seed, index)` pair; replaying all of them reconstructs the parallel
+/// report exactly.
+#[test]
+fn replaying_each_index_reconstructs_the_parallel_report() {
+    let (module, map, entry, arg) = instrument("rawcaudio");
+    let cfg = config(48, 8);
+    let campaign = SfiCampaign::new(&module, Some(&map), entry, &[Value::Int(arg)], &cfg);
+    let parallel = campaign.run_report(&cfg);
+
+    let mut replayed = CampaignReport::new(cfg);
+    for index in 0..cfg.injections as u64 {
+        let plan = campaign.plan_for_index(&cfg, index);
+        replayed.record(plan, campaign.run_one(plan));
+    }
+    assert_eq!(parallel, replayed);
+}

@@ -1,0 +1,30 @@
+//! Printer/parser round-trips for the entire workload suite: every
+//! module in `encore_workloads::all()` must survive `display → parse →
+//! display` unchanged, and the reparsed module must still verify.
+
+use encore::ir::{parse_module, verify_module};
+
+#[test]
+fn every_workload_round_trips_through_text() {
+    let suite = encore::workloads::all();
+    assert!(!suite.is_empty());
+    for w in &suite {
+        let text = w.module.to_string();
+        let reparsed = parse_module(&text)
+            .unwrap_or_else(|e| panic!("{}: reparse failed: {e}\n{text}", w.name));
+        assert_eq!(reparsed, w.module, "{}: parse(print(m)) != m", w.name);
+        verify_module(&reparsed).unwrap_or_else(|e| panic!("{}: {e:?}", w.name));
+    }
+}
+
+#[test]
+fn workload_printing_is_stable() {
+    // A second print of the reparsed module is byte-identical: the
+    // textual form is a fixpoint, so goldens diffed across runs or
+    // machines never churn.
+    for w in encore::workloads::all() {
+        let text = w.module.to_string();
+        let reparsed = parse_module(&text).expect("reparse");
+        assert_eq!(text, reparsed.to_string(), "{}: printing is not a fixpoint", w.name);
+    }
+}
