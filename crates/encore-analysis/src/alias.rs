@@ -32,7 +32,11 @@ pub enum AliasResult {
 /// Implementations must be *sound for their advertised mode*: `Must` is
 /// only returned when the addresses provably coincide; for the
 /// conservative oracle, `No` is only returned when they provably differ.
-pub trait AliasOracle {
+///
+/// Oracles are required to be [`Sync`]: the analysis pipeline shards its
+/// per-function loop across threads, all of which consult one shared
+/// oracle through the same [`crate::MemSummary`]-backed analyzer.
+pub trait AliasOracle: Sync {
     /// Classifies the relationship between two addresses.
     fn alias(&self, a: &AddrExpr, b: &AddrExpr) -> AliasResult;
 

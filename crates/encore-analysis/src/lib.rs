@@ -7,6 +7,8 @@
 //!
 //! * [CFG traversal orders](order) — the post-order and reversed-graph
 //!   post-order traversals of Eqs. 1–3;
+//! * [dense bitsets](BitSet) and the [worklist solver](dataflow) — the
+//!   engine the RS/GA/EA and liveness fixpoints run on;
 //! * [dominator trees](DomTree) — SEME-ness and back-edge detection;
 //! * [natural loops](LoopForest) — the hierarchical loop handling of
 //!   §3.1.2, with irreducibility detection (footnote 3);
@@ -25,6 +27,8 @@
 #![warn(missing_debug_implementations)]
 
 mod alias;
+mod bitset;
+pub mod dataflow;
 mod dom;
 mod intervals;
 mod liveness;
@@ -36,6 +40,8 @@ mod profile;
 mod purity;
 
 pub use alias::{AliasMode, AliasOracle, AliasResult, OptimisticAlias, ProfiledAlias, StaticAlias};
+pub use bitset::BitSet;
+pub use dataflow::solve_worklist;
 pub use memprofile::{MemProfile, SiteRef};
 pub use memsummary::{AddrSet, FuncEffects, MemSummary, SummaryAddr};
 pub use dom::DomTree;

@@ -5,108 +5,121 @@
 //! consume a clobbered value. This is the standard backward may-analysis
 //! at basic-block granularity.
 
+use crate::bitset::BitSet;
+use crate::dataflow::solve_worklist;
 use encore_ir::{BlockId, Function, Reg};
 use std::collections::BTreeSet;
 
-/// Per-block liveness results for one function.
+/// Per-block liveness results for one function, stored as packed
+/// register bitsets; the `BTreeSet` accessors materialize on demand.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Liveness {
-    live_in: Vec<BTreeSet<Reg>>,
-    live_out: Vec<BTreeSet<Reg>>,
-    use_set: Vec<BTreeSet<Reg>>,
-    def_set: Vec<BTreeSet<Reg>>,
+    in_bits: Vec<BitSet>,
+    out_bits: Vec<BitSet>,
+    use_bits: Vec<BitSet>,
+    def_bits: Vec<BitSet>,
+}
+
+fn to_regs(bs: &BitSet) -> BTreeSet<Reg> {
+    bs.iter().map(|i| Reg::new(i as u32)).collect()
 }
 
 impl Liveness {
-    /// Computes liveness for `func` by iterating to a fixpoint.
+    /// Computes liveness for `func` on the bitset worklist engine: the
+    /// fixpoint runs over packed register sets seeded in postorder (a
+    /// backward problem propagates fastest against the flow).
     pub fn compute(func: &Function) -> Self {
         let n = func.blocks.len();
-        let mut use_set = vec![BTreeSet::new(); n];
-        let mut def_set = vec![BTreeSet::new(); n];
+        let nregs = func.reg_count as usize;
+        let mut use_bits = vec![BitSet::new(nregs); n];
+        let mut def_bits = vec![BitSet::new(nregs); n];
 
         for (bid, block) in func.iter_blocks() {
             let i = bid.index();
             for inst in &block.insts {
                 for u in inst.uses() {
-                    if !def_set[i].contains(&u) {
-                        use_set[i].insert(u);
+                    if !def_bits[i].contains(u.index()) {
+                        use_bits[i].insert(u.index());
                     }
                 }
                 if let Some(d) = inst.def() {
-                    def_set[i].insert(d);
+                    def_bits[i].insert(d.index());
                 }
             }
             if let Some(t) = &block.term {
                 for u in t.uses() {
-                    if !def_set[i].contains(&u) {
-                        use_set[i].insert(u);
+                    if !def_bits[i].contains(u.index()) {
+                        use_bits[i].insert(u.index());
                     }
                 }
             }
         }
 
-        let mut live_in = vec![BTreeSet::new(); n];
-        let mut live_out = vec![BTreeSet::new(); n];
-        let order = crate::order::postorder(func); // propagate backwards fast
-        let mut changed = true;
-        while changed {
-            changed = false;
-            for &b in &order {
-                let i = b.index();
-                let mut out: BTreeSet<Reg> = BTreeSet::new();
-                for s in func.block(b).successors() {
-                    out.extend(live_in[s.index()].iter().copied());
-                }
-                let mut inn = use_set[i].clone();
-                for r in out.difference(&def_set[i]) {
-                    inn.insert(*r);
-                }
-                if out != live_out[i] || inn != live_in[i] {
-                    live_out[i] = out;
-                    live_in[i] = inn;
-                    changed = true;
-                }
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (bid, block) in func.iter_blocks() {
+            for s in block.successors() {
+                succs[bid.index()].push(s.index());
+                preds[s.index()].push(bid.index());
             }
         }
 
-        Self { live_in, live_out, use_set, def_set }
+        let mut in_bits = vec![BitSet::new(nregs); n];
+        let mut out_bits = vec![BitSet::new(nregs); n];
+        let seed: Vec<usize> =
+            crate::order::postorder(func).into_iter().map(|b| b.index()).collect();
+        // A block's live-in feeds its predecessors' live-out.
+        solve_worklist(&seed, n, |i| preds[i].as_slice(), |i| {
+            let mut out = BitSet::new(nregs);
+            for &s in &succs[i] {
+                out.union_with(&in_bits[s]);
+            }
+            let mut inn = out.clone();
+            inn.subtract(&def_bits[i]);
+            inn.union_with(&use_bits[i]);
+            let changed = inn != in_bits[i];
+            out_bits[i] = out;
+            in_bits[i] = inn;
+            changed
+        });
+
+        Self { in_bits, out_bits, use_bits, def_bits }
     }
 
     /// Registers live at entry to `b`.
-    pub fn live_in(&self, b: BlockId) -> &BTreeSet<Reg> {
-        &self.live_in[b.index()]
+    pub fn live_in(&self, b: BlockId) -> BTreeSet<Reg> {
+        to_regs(&self.in_bits[b.index()])
     }
 
     /// Registers live at exit from `b`.
-    pub fn live_out(&self, b: BlockId) -> &BTreeSet<Reg> {
-        &self.live_out[b.index()]
+    pub fn live_out(&self, b: BlockId) -> BTreeSet<Reg> {
+        to_regs(&self.out_bits[b.index()])
     }
 
     /// Registers defined (written) inside `b`.
-    pub fn defs(&self, b: BlockId) -> &BTreeSet<Reg> {
-        &self.def_set[b.index()]
+    pub fn defs(&self, b: BlockId) -> BTreeSet<Reg> {
+        to_regs(&self.def_bits[b.index()])
     }
 
     /// Registers upward-exposed (used before any local def) in `b`.
-    pub fn upward_exposed(&self, b: BlockId) -> &BTreeSet<Reg> {
-        &self.use_set[b.index()]
+    pub fn upward_exposed(&self, b: BlockId) -> BTreeSet<Reg> {
+        to_regs(&self.use_bits[b.index()])
     }
 
     /// Registers that are live at entry to `header` *and* written anywhere
     /// in `region_blocks` — exactly the set Encore must checkpoint at
-    /// region entry.
+    /// region entry. Runs entirely on the packed sets: per block, a
+    /// word-level walk of `defs ∩ live-in(header)`.
     pub fn clobbered_live_ins(
         &self,
         header: BlockId,
         region_blocks: impl IntoIterator<Item = BlockId>,
     ) -> BTreeSet<Reg> {
-        let live = self.live_in(header);
+        let live = &self.in_bits[header.index()];
         let mut clobbered = BTreeSet::new();
         for b in region_blocks {
-            for d in self.defs(b) {
-                if live.contains(d) {
-                    clobbered.insert(*d);
-                }
+            for d in self.def_bits[b.index()].iter_and(live) {
+                clobbered.insert(Reg::new(d as u32));
             }
         }
         clobbered

@@ -97,7 +97,11 @@ impl Microbench {
         self.samples.last().expect("just pushed")
     }
 
-    /// Prints the group's results as an aligned table.
+    /// Prints the group's results as an aligned table. When the
+    /// `ENCORE_BENCH_JSON` environment variable names a file, the
+    /// group's samples are additionally appended to it as one JSON
+    /// object per line (`scripts/bench.sh` uses this to produce the
+    /// machine-readable `BENCH_analysis.json`).
     pub fn finish(self) {
         println!("\n## {}\n", self.title);
         let mut table = Table::new(&["benchmark", "iters", "min", "median", "mean"]);
@@ -111,6 +115,33 @@ impl Microbench {
             ]);
         }
         println!("{}", table.render());
+        if let Ok(path) = std::env::var("ENCORE_BENCH_JSON") {
+            if !path.is_empty() {
+                if let Err(e) = self.append_json(&path) {
+                    eprintln!("warning: could not write {path}: {e}");
+                }
+            }
+        }
+    }
+
+    /// Appends this group as a JSON line to `path`.
+    fn append_json(&self, path: &str) -> std::io::Result<()> {
+        use std::io::Write;
+        let mut out = String::new();
+        out.push_str(&format!("{{\"suite\": {:?}, \"benchmarks\": [", self.title));
+        for (i, s) in self.samples.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"name\": {:?}, \"iters\": {}, \"min_ns\": {:.1}, \
+                 \"median_ns\": {:.1}, \"mean_ns\": {:.1}}}",
+                s.name, s.iters, s.min_ns, s.median_ns, s.mean_ns
+            ));
+        }
+        out.push_str("]}\n");
+        let mut f = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+        f.write_all(out.as_bytes())
     }
 }
 

@@ -62,6 +62,9 @@ pub struct Options {
     pub seed: u64,
     /// Worker threads for `sfi` (0 = all available cores).
     pub workers: usize,
+    /// Worker threads for the pipeline's per-function analysis loop
+    /// (0 = all available cores); output is bit-identical at any count.
+    pub analysis_workers: usize,
     /// Output path for commands that write files.
     pub output: Option<String>,
 }
@@ -78,6 +81,7 @@ impl Default for Options {
             dmax: 100,
             seed: SfiConfig::default().seed,
             workers: 0,
+            analysis_workers: 0,
             output: None,
         }
     }
@@ -137,6 +141,11 @@ impl Options {
                         .parse()
                         .map_err(|e| err(format!("--workers: {e}")))?
                 }
+                "--analysis-workers" => {
+                    opts.analysis_workers = take("--analysis-workers")?
+                        .parse()
+                        .map_err(|e| err(format!("--analysis-workers: {e}")))?
+                }
                 "-o" | "--output" => opts.output = Some(take("-o")?.clone()),
                 flag if flag.starts_with('-') => {
                     return Err(err(format!("unknown flag `{flag}`")))
@@ -152,6 +161,7 @@ impl Options {
             .with_overhead_budget(self.budget)
             .with_pmin(self.pmin)
             .with_dmax(self.dmax)
+            .with_analysis_workers(self.analysis_workers)
     }
 }
 
@@ -442,6 +452,9 @@ FLAGS:
     --seed N            sfi campaign seed (same seed reproduces the
                         campaign bit-for-bit at any worker count)
     --workers N         sfi worker threads         (default 0 = all cores)
+    --analysis-workers N  pipeline analysis worker threads
+                        (default 0 = all cores; output is bit-identical
+                        at any worker count)
     -o, --output PATH   write output to a file
 "
     .to_string()

@@ -61,6 +61,11 @@ pub struct EncoreConfig {
     /// once per activation) already bounds merging where it matters.
     /// Exposed as an ablation knob for the region-granularity study.
     pub max_region_len: f64,
+    /// Worker threads for the per-function analysis loop of the pipeline
+    /// (`0` = one per available core). Functions are sharded in
+    /// contiguous index ranges and results merged in function order, so
+    /// the pipeline output is bit-identical for any worker count.
+    pub analysis_workers: usize,
 }
 
 impl Default for EncoreConfig {
@@ -75,6 +80,7 @@ impl Default for EncoreConfig {
             masking_rate: 0.91,
             elide_reg_ckpts: false,
             max_region_len: f64::INFINITY,
+            analysis_workers: 0,
         }
     }
 }
@@ -143,6 +149,12 @@ impl EncoreConfig {
     /// Enables the unsound register-checkpoint-elision ablation.
     pub fn with_elided_reg_ckpts(mut self) -> Self {
         self.elide_reg_ckpts = true;
+        self
+    }
+
+    /// Sets the analysis worker-thread count (`0` = all cores).
+    pub fn with_analysis_workers(mut self, workers: usize) -> Self {
+        self.analysis_workers = workers;
         self
     }
 

@@ -27,6 +27,19 @@
 //! [`IdempotenceAnalyzer::summarize_loop`] additionally exposes the paper's per-loop
 //! `RSˡ`/`GAˡ`/`EAˡ` meta-data for inspection and testing.
 //!
+//! ## Engine
+//!
+//! The three fixpoints run on [`encore_analysis::BitSet`] dense sets over
+//! function-level site universes, driven by the generic
+//! [`solve_worklist`] solver (RS backward, seeded in postorder; GA/EA
+//! forward, seeded in reverse postorder). Per-function inputs — block
+//! effects, site tables, guard universe — are computed once per
+//! [`IdempotenceAnalyzer`] and shared by every region over the same
+//! function; Eq. 4 alias answers are memoized for the analyzer's
+//! lifetime. The naive round-robin solver is retained as
+//! [`IdempotenceAnalyzer::analyze_region_reference`] and the two are held
+//! equal by differential property tests.
+//!
 //! ## Profile pruning (§3.4.1)
 //!
 //! Blocks whose execution probability (relative to the region header) is
@@ -36,9 +49,10 @@
 use crate::memref::{
     is_imprecise_summary, summary_addr_expr, AbsAddr, GuardAddr, GuardSet, LoadSite, StoreSite,
 };
-use encore_analysis::{AddrSet, AliasOracle, MemSummary};
+use encore_analysis::{solve_worklist, AddrSet, AliasOracle, BitSet, MemSummary};
 use encore_ir::{BlockId, FuncId, Function, Inst, InstRef, Module};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::OnceLock;
 
 /// A candidate recovery region: a SEME subgraph of one function.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -104,8 +118,9 @@ pub struct RegionAnalysis {
     pub cp: Vec<StoreSite>,
     /// All WAR hazards found (one store may appear in several).
     pub violations: Vec<Violation>,
-    /// Blocks that participated in the analysis after pruning.
-    pub live_blocks: BTreeSet<BlockId>,
+    /// Blocks that participated in the analysis after pruning, in
+    /// ascending id order.
+    pub live_blocks: Vec<BlockId>,
     /// Blocks pruned by the `Pmin` heuristic (or unreachable from the
     /// header once pruned blocks were removed).
     pub pruned_blocks: BTreeSet<BlockId>,
@@ -135,11 +150,14 @@ pub struct LoopSummary {
 }
 
 /// The idempotence analyzer: module-wide immutable inputs plus an alias
-/// oracle.
+/// oracle, and lazily built per-function tables ([`FuncCache`]) shared by
+/// every region analysis over the same function — including across the
+/// sharded pipeline's worker threads.
 pub struct IdempotenceAnalyzer<'a> {
     module: &'a Module,
     memsum: MemSummary,
     oracle: &'a dyn AliasOracle,
+    caches: Vec<OnceLock<FuncCache>>,
 }
 
 impl std::fmt::Debug for IdempotenceAnalyzer<'_> {
@@ -156,12 +174,113 @@ impl<'a> IdempotenceAnalyzer<'a> {
     /// computed up front so call sites can be treated as bundles of
     /// loads/stores instead of pessimistic Unknowns.
     pub fn new(module: &'a Module, oracle: &'a dyn AliasOracle) -> Self {
-        Self { module, memsum: MemSummary::compute(module), oracle }
+        Self {
+            module,
+            memsum: MemSummary::compute(module),
+            oracle,
+            caches: module.funcs.iter().map(|_| OnceLock::new()).collect(),
+        }
+    }
+
+    /// Returns the per-function tables, building them on first use.
+    fn func_cache(&self, fid: FuncId) -> &FuncCache {
+        self.caches[fid.index()].get_or_init(|| self.build_func_cache(fid))
+    }
+
+    /// Builds [`FuncCache`]: block effects, the function-level load/store
+    /// site tables, the guard universe, and per-block must-guard bitsets.
+    fn build_func_cache(&self, fid: FuncId) -> FuncCache {
+        let func = self.module.func(fid);
+        let n = func.blocks.len();
+        let mut effects: Vec<BlockEffects> = vec![BlockEffects::default(); n];
+        for b in func.block_ids() {
+            effects[b.index()] = self.block_effects(func, b);
+        }
+
+        // Site tables: every load/store occurrence gets a dense key (a
+        // call site may contribute several summarized sites, so InstRefs
+        // alone are not unique keys). Indices are assigned in ascending
+        // (BlockId, position-in-block) order — the same order the old
+        // per-region tables followed — so ascending-index iteration
+        // preserves the historical violation/CP emission order exactly.
+        let mut load_table: Vec<LoadSite> = Vec::new();
+        let mut store_table: Vec<StoreSite> = Vec::new();
+        let mut block_loads: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut block_stores: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut guard_universe: BTreeSet<GuardAddr> = BTreeSet::new();
+        for b in func.block_ids() {
+            let i = b.index();
+            for l in &effects[i].exposed {
+                block_loads[i].push(load_table.len());
+                load_table.push(*l);
+            }
+            for s in &effects[i].may_stores {
+                block_stores[i].push(store_table.len());
+                store_table.push(*s);
+            }
+            guard_universe.extend(effects[i].must_guards.iter().copied());
+        }
+
+        let guard_table: Vec<GuardAddr> = guard_universe.into_iter().collect();
+        let guard_index: BTreeMap<GuardAddr, usize> =
+            guard_table.iter().enumerate().map(|(k, g)| (*g, k)).collect();
+        let must_bits: Vec<BitSet> = (0..n)
+            .map(|i| {
+                let mut bs = BitSet::new(guard_table.len());
+                for g in effects[i].must_guards.iter() {
+                    bs.insert(guard_index[g]);
+                }
+                bs
+            })
+            .collect();
+        // A load is exposed unconditionally (`None`) when its address is
+        // opaque or names a cell no block in the function ever guards —
+        // GA ranges over the guard universe and can never cover it.
+        let load_guard: Vec<Option<usize>> = load_table
+            .iter()
+            .map(|l| match l.addr {
+                AbsAddr::Top => None,
+                AbsAddr::Expr(a) => {
+                    GuardAddr::of(&a).and_then(|g| guard_index.get(&g).copied())
+                }
+            })
+            .collect();
+
+        let conflict_rows = load_table.iter().map(|_| OnceLock::new()).collect();
+        let succs: Vec<Vec<BlockId>> =
+            func.block_ids().map(|b| func.block(b).successors()).collect();
+        FuncCache {
+            effects,
+            succs,
+            load_table,
+            store_table,
+            block_loads,
+            block_stores,
+            guard_table,
+            must_bits,
+            load_guard,
+            conflict_rows,
+        }
+    }
+
+    /// The stores that may conflict with load `lat` of `func` (Eq. 4
+    /// resolved through the alias oracle), memoized for the analyzer's
+    /// lifetime.
+    fn conflict_row<'c>(&self, cache: &'c FuncCache, func: FuncId, lat: usize) -> &'c BitSet {
+        cache.conflict_rows[lat].get_or_init(|| {
+            let l = cache.load_table[lat];
+            let mut row = BitSet::new(cache.store_table.len());
+            for (sat, s) in cache.store_table.iter().enumerate() {
+                if self.conflicts(func, &l, s) {
+                    row.insert(sat);
+                }
+            }
+            row
+        })
     }
 
     /// Extracts the local effects of block `b` in `func`.
-    fn block_effects(&self, func: &Function, fid: FuncId, b: BlockId) -> BlockEffects {
-        let _ = fid;
+    fn block_effects(&self, func: &Function, b: BlockId) -> BlockEffects {
         let mut fx = BlockEffects::default();
         let mut local_guards: GuardSet = GuardSet::new();
         for (i, inst) in func.block(b).insts.iter().enumerate() {
@@ -262,159 +381,228 @@ impl<'a> IdempotenceAnalyzer<'a> {
         self.check(spec, state)
     }
 
-    /// Runs the RS/GA/EA fixpoints over the live subgraph of `spec`.
-    fn dataflow(&self, spec: &RegionSpec, prune: &dyn Fn(BlockId) -> bool) -> DataflowState {
+    /// Runs the RS/GA/EA fixpoints over the live subgraph of `spec` on the
+    /// bitset worklist engine: RS backward, seeded in postorder; GA then
+    /// EA forward, seeded in reverse postorder. All three fixpoints are
+    /// monotone over finite lattices, so the worklist reaches the same
+    /// (unique) fixpoint as the round-robin iteration it replaces.
+    fn dataflow<'c>(
+        &'c self,
+        spec: &RegionSpec,
+        prune: &dyn Fn(BlockId) -> bool,
+    ) -> DataflowState<'c> {
         let func = self.module.func(spec.func);
+        let cache = self.func_cache(spec.func);
 
         // 1. Live set: member blocks that survive pruning *and* remain
-        //    reachable from the header inside the region.
-        let unpruned: BTreeSet<BlockId> = spec
-            .blocks
-            .iter()
-            .copied()
-            .filter(|b| *b == spec.header || !prune(*b))
-            .collect();
-        let live: BTreeSet<BlockId> =
-            encore_analysis::order::reachable_from(func, spec.header, Some(&unpruned));
-        let pruned: BTreeSet<BlockId> =
-            spec.blocks.difference(&live).copied().collect();
-
-        let live_vec: Vec<BlockId> = live.iter().copied().collect();
-        let index_of: BTreeMap<BlockId, usize> =
-            live_vec.iter().enumerate().map(|(i, b)| (*b, i)).collect();
-        let n = live_vec.len();
-
-        // 2. Local effects + induced edges.
-        let effects: Vec<BlockEffects> = live_vec
-            .iter()
-            .map(|b| self.block_effects(func, spec.func, *b))
-            .collect();
-        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
-        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
-        for (i, b) in live_vec.iter().enumerate() {
-            for s in func.block(*b).successors() {
-                if let Some(&j) = index_of.get(&s) {
-                    succs[i].push(j);
-                    preds[j].push(i);
+        //    reachable from the header inside the region. One DFS over
+        //    the cached successor lists yields both the live set and its
+        //    postorder (Eqs. 1–3 are phrased as post-order passes; the
+        //    worklist only needs the order as seeds). The traversal
+        //    visits children in successor order, exactly as
+        //    `order::postorder_from` does.
+        let nblocks = func.blocks.len();
+        let mut allowed = vec![false; nblocks];
+        for &b in &spec.blocks {
+            allowed[b.index()] = b == spec.header || !prune(b);
+        }
+        let mut visited = vec![false; nblocks];
+        let mut po_blocks: Vec<BlockId> = Vec::with_capacity(spec.blocks.len());
+        if allowed[spec.header.index()] {
+            let mut stack: Vec<(BlockId, usize)> = vec![(spec.header, 0)];
+            visited[spec.header.index()] = true;
+            while let Some((b, cursor)) = stack.last_mut() {
+                let succ = &cache.succs[b.index()];
+                if *cursor < succ.len() {
+                    let s = succ[*cursor];
+                    *cursor += 1;
+                    if allowed[s.index()] && !visited[s.index()] {
+                        visited[s.index()] = true;
+                        stack.push((s, 0));
+                    }
+                } else {
+                    po_blocks.push(*b);
+                    stack.pop();
                 }
             }
         }
 
-        let unknown = effects.iter().any(|e| e.unknown);
-        let alloc = effects.iter().any(|e| e.alloc);
-
-        // Site tables: every load/store occurrence gets a dense key (a
-        // call site may contribute several summarized sites, so InstRefs
-        // alone are not unique keys).
-        let mut load_table: Vec<LoadSite> = Vec::new();
-        let mut store_table: Vec<StoreSite> = Vec::new();
-        let mut block_loads: Vec<Vec<usize>> = vec![Vec::new(); n];
-        let mut block_stores: Vec<Vec<usize>> = vec![Vec::new(); n];
-        for i in 0..n {
-            for l in &effects[i].exposed {
-                block_loads[i].push(load_table.len());
-                load_table.push(*l);
-            }
-            for s in &effects[i].may_stores {
-                block_stores[i].push(store_table.len());
-                store_table.push(*s);
+        // Live blocks in ascending id order — the emission order `check`
+        // iterates — with a dense id → live-index map.
+        let mut index_of = vec![usize::MAX; nblocks];
+        let mut live_vec: Vec<BlockId> = Vec::with_capacity(po_blocks.len());
+        for b in func.block_ids() {
+            if visited[b.index()] {
+                index_of[b.index()] = live_vec.len();
+                live_vec.push(b);
             }
         }
+        let n = live_vec.len();
+        let pruned: BTreeSet<BlockId> =
+            spec.blocks.iter().copied().filter(|b| !visited[b.index()]).collect();
+
+        // 2. Induced edges over live indices, stored CSR-style: one flat
+        //    edge array plus offsets per direction, instead of one heap
+        //    `Vec` per block.
+        let mut succ_off = vec![0usize; n + 1];
+        let mut pred_off = vec![0usize; n + 1];
+        for (i, b) in live_vec.iter().enumerate() {
+            for s in &cache.succs[b.index()] {
+                let j = index_of[s.index()];
+                if j != usize::MAX {
+                    succ_off[i + 1] += 1;
+                    pred_off[j + 1] += 1;
+                }
+            }
+        }
+        for i in 0..n {
+            succ_off[i + 1] += succ_off[i];
+            pred_off[i + 1] += pred_off[i];
+        }
+        let mut succ_edges = vec![0usize; succ_off[n]];
+        let mut pred_edges = vec![0usize; pred_off[n]];
+        let mut pred_cur = pred_off.clone();
+        let mut sc = 0;
+        for (i, b) in live_vec.iter().enumerate() {
+            for s in &cache.succs[b.index()] {
+                let j = index_of[s.index()];
+                if j != usize::MAX {
+                    succ_edges[sc] = j;
+                    sc += 1;
+                    pred_edges[pred_cur[j]] = i;
+                    pred_cur[j] += 1;
+                }
+            }
+        }
+        let succs = |i: usize| &succ_edges[succ_off[i]..succ_off[i + 1]];
+        let preds = |i: usize| &pred_edges[pred_off[i]..pred_off[i + 1]];
+
+        let unknown = live_vec.iter().any(|b| cache.effects[b.index()].unknown);
+        let alloc = live_vec.iter().any(|b| cache.effects[b.index()].alloc);
+
+        let po: Vec<usize> =
+            po_blocks.iter().map(|b| index_of[b.index()]).collect();
+        let rpo: Vec<usize> = po.iter().rev().copied().collect();
+
+        let nstores = cache.store_table.len();
+        let nloads = cache.load_table.len();
+        let nguards = cache.guard_table.len();
 
         // 3. RS fixpoint (Eq. 1, self-inclusive): RS(b) = AS(b) ∪ ⋃ RS(succ).
-        let mut rs: Vec<BTreeSet<usize>> =
-            (0..n).map(|i| block_stores[i].iter().copied().collect()).collect();
-        let mut changed = true;
-        while changed {
-            changed = false;
-            for i in 0..n {
-                let mut grown = false;
-                let snapshot: Vec<usize> = succs[i]
-                    .iter()
-                    .flat_map(|&j| rs[j].iter().copied().collect::<Vec<_>>())
-                    .collect();
-                for site in snapshot {
-                    grown |= rs[i].insert(site);
+        //    Backward: a block's RS feeds its predecessors.
+        let mut rs: Vec<BitSet> = live_vec
+            .iter()
+            .map(|b| {
+                let mut s = BitSet::new(nstores);
+                for &k in &cache.block_stores[b.index()] {
+                    s.insert(k);
                 }
-                changed |= grown;
-            }
+                s
+            })
+            .collect();
+        // An empty site universe is already at fixpoint — every set is
+        // and stays empty — so the solve (and its queue allocations) can
+        // be skipped outright. Same below for GA and EA.
+        if nstores > 0 {
+            solve_worklist(&po, n, preds, |i| {
+                let mut acc = std::mem::take(&mut rs[i]);
+                let mut grown = false;
+                for &j in succs(i) {
+                    // A self-loop contributes nothing new to a union.
+                    if j != i {
+                        grown |= acc.union_with(&rs[j]);
+                    }
+                }
+                rs[i] = acc;
+                grown
+            });
         }
 
         // 4. GA fixpoint (Eq. 2, must): GA(b) = ⋂_{p∈preds} (GA(p) ∪ MUST(p)),
         //    header = ∅ (nothing is guarded at region entry). `None`
-        //    encodes the ⊤ initializer of a must-analysis.
-        let entry_idx = index_of[&spec.header];
-        let mut ga: Vec<Option<GuardSet>> = vec![None; n];
-        ga[entry_idx] = Some(GuardSet::new());
-        changed = true;
-        while changed {
-            changed = false;
-            for i in 0..n {
+        //    encodes the ⊤ initializer of a must-analysis; the transfer
+        //    recomputes from the predecessors' current values.
+        let entry_idx = index_of[spec.header.index()];
+        let mut ga: Vec<Option<BitSet>> = vec![None; n];
+        ga[entry_idx] = Some(BitSet::new(nguards));
+        if nguards > 0 {
+            solve_worklist(&rpo, n, succs, |i| {
                 if i == entry_idx {
-                    continue;
+                    return false;
                 }
-                let mut acc: Option<GuardSet> = None;
-                for &p in &preds[i] {
+                let mut acc: Option<BitSet> = None;
+                for &p in preds(i) {
                     let Some(gp) = &ga[p] else { continue };
-                    let mut contrib = gp.clone();
-                    contrib.extend(effects[p].must_guards.iter().copied());
-                    acc = Some(match acc {
-                        None => contrib,
-                        Some(cur) => cur.intersection(&contrib).copied().collect(),
-                    });
-                }
-                if let Some(new) = acc {
-                    if ga[i].as_ref() != Some(&new) {
-                        ga[i] = Some(new);
-                        changed = true;
+                    let must = &cache.must_bits[live_vec[p].index()];
+                    match &mut acc {
+                        None => {
+                            let mut contrib = gp.clone();
+                            contrib.union_with(must);
+                            acc = Some(contrib);
+                        }
+                        // `cur ∩ (gp ∪ must)`; when MUST(p) is empty the
+                        // union is `gp` itself and the clone is skipped.
+                        Some(cur) if must.is_empty() => {
+                            cur.intersect_with(gp);
+                        }
+                        Some(cur) => {
+                            let mut contrib = gp.clone();
+                            contrib.union_with(must);
+                            cur.intersect_with(&contrib);
+                        }
                     }
                 }
-            }
+                match acc {
+                    Some(new) if ga[i].as_ref() != Some(&new) => {
+                        ga[i] = Some(new);
+                        true
+                    }
+                    _ => false,
+                }
+            });
         }
 
         // 5. EA fixpoint (Eq. 3, may): EA(b) = ⋃_{p} EA(p) ∪ (EAˡᵒᶜ(b) − GA(b)).
-        let locally_exposed = |i: usize| -> Vec<usize> {
-            let guards = ga[i].clone().unwrap_or_default();
-            block_loads[i]
-                .iter()
-                .copied()
-                .filter(|&li| match load_table[li].addr {
-                    AbsAddr::Top => true,
-                    AbsAddr::Expr(a) => GuardAddr::of(&a)
-                        .map(|g| !guards.contains(&g))
-                        .unwrap_or(true),
-                })
-                .collect()
-        };
-
-        let mut ea: Vec<BTreeSet<usize>> = (0..n)
-            .map(|i| locally_exposed(i).into_iter().collect())
-            .collect();
-        changed = true;
-        while changed {
-            changed = false;
-            for i in 0..n {
-                let mut grown = false;
-                let snapshot: Vec<usize> = preds[i]
-                    .iter()
-                    .flat_map(|&p| ea[p].iter().copied().collect::<Vec<_>>())
-                    .collect();
-                for site in snapshot {
-                    grown |= ea[i].insert(site);
+        //    Seeded with the locally exposed loads under the *final* GA,
+        //    which is why GA must complete first.
+        let mut ea: Vec<BitSet> = (0..n)
+            .map(|i| {
+                let mut s = BitSet::new(nloads);
+                for &li in &cache.block_loads[live_vec[i].index()] {
+                    let exposed = match cache.load_guard[li] {
+                        None => true,
+                        Some(g) => {
+                            !ga[i].as_ref().map(|bits| bits.contains(g)).unwrap_or(false)
+                        }
+                    };
+                    if exposed {
+                        s.insert(li);
+                    }
                 }
-                changed |= grown;
-            }
+                s
+            })
+            .collect();
+        if nloads > 0 {
+            solve_worklist(&rpo, n, succs, |i| {
+                let mut acc = std::mem::take(&mut ea[i]);
+                let mut grown = false;
+                for &p in preds(i) {
+                    if p != i {
+                        grown |= acc.union_with(&ea[p]);
+                    }
+                }
+                ea[i] = acc;
+                grown
+            });
         }
 
         DataflowState {
             live_vec,
             index_of,
-            effects,
+            cache,
             rs,
             ga,
             ea,
-            load_table,
-            store_table,
             unknown,
             alloc,
             pruned,
@@ -422,34 +610,27 @@ impl<'a> IdempotenceAnalyzer<'a> {
     }
 
     /// Applies the Eq. 4 emptiness check to a completed dataflow.
-    fn check(&self, spec: &RegionSpec, state: DataflowState) -> RegionAnalysis {
-        let DataflowState {
-            live_vec,
-            rs,
-            ea,
-            load_table,
-            store_table,
-            unknown,
-            alloc,
-            pruned,
-            ..
-        } = state;
+    fn check(&self, spec: &RegionSpec, state: DataflowState<'_>) -> RegionAnalysis {
+        let DataflowState { live_vec, cache, rs, ea, unknown, alloc, pruned, .. } = state;
         let n = live_vec.len();
+        let load_table = &cache.load_table;
+        let store_table = &cache.store_table;
 
-        // Eq. 4 check per block, recording CP.
-        let mut pair_cache: BTreeMap<(usize, usize), bool> = BTreeMap::new();
+        // Eq. 4 check per block, recording CP. Conflict answers are pure
+        // function-level facts, so each load's row of conflicting stores
+        // is memoized for the analyzer's lifetime and shared across
+        // every region over this function; the per-block probe is then a
+        // word-level walk of `row ∩ RS`.
         let mut violations: Vec<Violation> = Vec::new();
         let mut seen_pairs: BTreeSet<(usize, usize)> = BTreeSet::new();
         let mut cp_sites: BTreeSet<usize> = BTreeSet::new();
         let mut imprecise_violation = false;
         for i in 0..n {
-            for &lat in &ea[i] {
+            for lat in ea[i].iter() {
                 let l = load_table[lat];
-                for &sat in &rs[i] {
-                    let conflict = *pair_cache
-                        .entry((lat, sat))
-                        .or_insert_with(|| self.conflicts(spec.func, &l, &store_table[sat]));
-                    if conflict && seen_pairs.insert((sat, lat)) {
+                let row = self.conflict_row(cache, spec.func, lat);
+                for sat in row.iter_and(&rs[i]) {
+                    if seen_pairs.insert((sat, lat)) {
                         violations.push(Violation { store: store_table[sat], load: l });
                         cp_sites.insert(sat);
                         // A "some cell of g" callee-summary store cannot
@@ -487,7 +668,7 @@ impl<'a> IdempotenceAnalyzer<'a> {
             verdict,
             cp,
             violations,
-            live_blocks: live_vec.into_iter().collect(),
+            live_blocks: live_vec,
             pruned_blocks: pruned,
         }
     }
@@ -505,9 +686,16 @@ impl<'a> IdempotenceAnalyzer<'a> {
         let func = self.module.func(func_id);
         let spec = RegionSpec { func: func_id, header, blocks: blocks.clone() };
         let state = self.dataflow(&spec, &|_| false);
+        let cache = state.cache;
 
         // RSˡ = ASˡ: every store inside the loop.
-        let reachable_stores: Vec<StoreSite> = state.store_table.clone();
+        let reachable_stores: Vec<StoreSite> = state
+            .live_vec
+            .iter()
+            .flat_map(|b| {
+                cache.block_stores[b.index()].iter().map(|&s| cache.store_table[s])
+            })
+            .collect();
 
         // Exits: blocks with a successor outside the loop.
         let exits: Vec<BlockId> = blocks
@@ -516,41 +704,282 @@ impl<'a> IdempotenceAnalyzer<'a> {
             .filter(|b| func.block(*b).successors().iter().any(|s| !blocks.contains(s)))
             .collect();
 
-        let mut guarded: Option<GuardSet> = None;
+        let nguards = cache.guard_table.len();
+        let mut guarded_bits: Option<BitSet> = None;
         let mut exposed_sites: BTreeSet<usize> = BTreeSet::new();
         for &e in &exits {
-            let Some(&i) = state.index_of.get(&e) else { continue };
-            let mut g: GuardSet = state.ga[i].clone().unwrap_or_default();
-            g.extend(state.effects[i].must_guards.iter().copied());
-            guarded = Some(match guarded {
+            let i = state.index_of[e.index()];
+            if i == usize::MAX {
+                continue;
+            }
+            let mut g = state.ga[i].clone().unwrap_or_else(|| BitSet::new(nguards));
+            g.union_with(&cache.must_bits[e.index()]);
+            guarded_bits = Some(match guarded_bits {
                 None => g,
-                Some(cur) => cur.intersection(&g).copied().collect(),
+                Some(mut cur) => {
+                    cur.intersect_with(&g);
+                    cur
+                }
             });
-            exposed_sites.extend(state.ea[i].iter().copied());
+            exposed_sites.extend(state.ea[i].iter());
         }
+        let guarded: GuardSet = guarded_bits
+            .map(|bs| bs.iter().map(|k| cache.guard_table[k]).collect())
+            .unwrap_or_default();
         let exposed: Vec<LoadSite> =
-            exposed_sites.iter().map(|&s| state.load_table[s]).collect();
+            exposed_sites.iter().map(|&s| cache.load_table[s]).collect();
 
         let analysis = self.check(&spec, state);
         LoopSummary {
             reachable_stores,
-            guarded: guarded.unwrap_or_default(),
+            guarded,
             exposed,
             idempotent: analysis.verdict.is_idempotent(),
         }
     }
+
+    /// The naive reference solver the worklist engine replaced: the same
+    /// RS/GA/EA equations iterated round-robin over per-region
+    /// `BTreeSet`s, with no function-level caching or memoization.
+    ///
+    /// Kept (and exercised by the differential property tests in
+    /// `tests/analysis_properties.rs`) as an executable specification:
+    /// [`IdempotenceAnalyzer::analyze_region`] must agree with it
+    /// bit-for-bit on every region.
+    pub fn analyze_region_reference(
+        &self,
+        spec: &RegionSpec,
+        prune: &dyn Fn(BlockId) -> bool,
+    ) -> RegionAnalysis {
+        let func = self.module.func(spec.func);
+
+        let unpruned: BTreeSet<BlockId> = spec
+            .blocks
+            .iter()
+            .copied()
+            .filter(|b| *b == spec.header || !prune(*b))
+            .collect();
+        let live: BTreeSet<BlockId> =
+            encore_analysis::order::reachable_from(func, spec.header, Some(&unpruned));
+        let pruned: BTreeSet<BlockId> =
+            spec.blocks.difference(&live).copied().collect();
+
+        let live_vec: Vec<BlockId> = live.iter().copied().collect();
+        let index_of: BTreeMap<BlockId, usize> =
+            live_vec.iter().enumerate().map(|(i, b)| (*b, i)).collect();
+        let n = live_vec.len();
+
+        let effects: Vec<BlockEffects> =
+            live_vec.iter().map(|b| self.block_effects(func, *b)).collect();
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, b) in live_vec.iter().enumerate() {
+            for s in func.block(*b).successors() {
+                if let Some(&j) = index_of.get(&s) {
+                    succs[i].push(j);
+                    preds[j].push(i);
+                }
+            }
+        }
+
+        let unknown = effects.iter().any(|e| e.unknown);
+        let alloc = effects.iter().any(|e| e.alloc);
+
+        let mut load_table: Vec<LoadSite> = Vec::new();
+        let mut store_table: Vec<StoreSite> = Vec::new();
+        let mut block_loads: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut block_stores: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for i in 0..n {
+            for l in &effects[i].exposed {
+                block_loads[i].push(load_table.len());
+                load_table.push(*l);
+            }
+            for s in &effects[i].may_stores {
+                block_stores[i].push(store_table.len());
+                store_table.push(*s);
+            }
+        }
+
+        // RS: round-robin to a fixpoint.
+        let mut rs: Vec<BTreeSet<usize>> =
+            (0..n).map(|i| block_stores[i].iter().copied().collect()).collect();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for i in 0..n {
+                let mut grown = false;
+                let snapshot: Vec<usize> = succs[i]
+                    .iter()
+                    .flat_map(|&j| rs[j].iter().copied().collect::<Vec<_>>())
+                    .collect();
+                for site in snapshot {
+                    grown |= rs[i].insert(site);
+                }
+                changed |= grown;
+            }
+        }
+
+        // GA: round-robin must-analysis, `None` = ⊤.
+        let entry_idx = index_of[&spec.header];
+        let mut ga: Vec<Option<GuardSet>> = vec![None; n];
+        ga[entry_idx] = Some(GuardSet::new());
+        changed = true;
+        while changed {
+            changed = false;
+            for i in 0..n {
+                if i == entry_idx {
+                    continue;
+                }
+                let mut acc: Option<GuardSet> = None;
+                for &p in &preds[i] {
+                    let Some(gp) = &ga[p] else { continue };
+                    let mut contrib = gp.clone();
+                    contrib.extend(effects[p].must_guards.iter().copied());
+                    acc = Some(match acc {
+                        None => contrib,
+                        Some(cur) => cur.intersection(&contrib).copied().collect(),
+                    });
+                }
+                if let Some(new) = acc {
+                    if ga[i].as_ref() != Some(&new) {
+                        ga[i] = Some(new);
+                        changed = true;
+                    }
+                }
+            }
+        }
+
+        // EA: locally exposed under final GA, then round-robin union.
+        let locally_exposed = |i: usize| -> Vec<usize> {
+            let guards = ga[i].clone().unwrap_or_default();
+            block_loads[i]
+                .iter()
+                .copied()
+                .filter(|&li| match load_table[li].addr {
+                    AbsAddr::Top => true,
+                    AbsAddr::Expr(a) => GuardAddr::of(&a)
+                        .map(|g| !guards.contains(&g))
+                        .unwrap_or(true),
+                })
+                .collect()
+        };
+        let mut ea: Vec<BTreeSet<usize>> =
+            (0..n).map(|i| locally_exposed(i).into_iter().collect()).collect();
+        changed = true;
+        while changed {
+            changed = false;
+            for i in 0..n {
+                let mut grown = false;
+                let snapshot: Vec<usize> = preds[i]
+                    .iter()
+                    .flat_map(|&p| ea[p].iter().copied().collect::<Vec<_>>())
+                    .collect();
+                for site in snapshot {
+                    grown |= ea[i].insert(site);
+                }
+                changed |= grown;
+            }
+        }
+
+        // Eq. 4 with a region-local pair cache.
+        let mut pair_cache: BTreeMap<(usize, usize), bool> = BTreeMap::new();
+        let mut violations: Vec<Violation> = Vec::new();
+        let mut seen_pairs: BTreeSet<(usize, usize)> = BTreeSet::new();
+        let mut cp_sites: BTreeSet<usize> = BTreeSet::new();
+        let mut imprecise_violation = false;
+        for i in 0..n {
+            for &lat in &ea[i] {
+                let l = load_table[lat];
+                for &sat in &rs[i] {
+                    let conflict = *pair_cache
+                        .entry((lat, sat))
+                        .or_insert_with(|| self.conflicts(spec.func, &l, &store_table[sat]));
+                    if conflict && seen_pairs.insert((sat, lat)) {
+                        violations.push(Violation { store: store_table[sat], load: l });
+                        cp_sites.insert(sat);
+                        if is_imprecise_summary(&store_table[sat].addr) {
+                            imprecise_violation = true;
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut cp: Vec<StoreSite> = Vec::new();
+        for &s in &cp_sites {
+            let site = store_table[s];
+            if !cp.iter().any(|e| e.at == site.at && e.addr == site.addr) {
+                cp.push(site);
+            }
+        }
+        let verdict = if unknown {
+            Verdict::Unknown
+        } else if alloc || imprecise_violation {
+            Verdict::NonIdempotent { checkpointable: false }
+        } else if cp.is_empty() {
+            Verdict::Idempotent
+        } else {
+            Verdict::NonIdempotent { checkpointable: true }
+        };
+
+        RegionAnalysis {
+            verdict,
+            cp,
+            violations,
+            live_blocks: live.iter().copied().collect(),
+            pruned_blocks: pruned,
+        }
+    }
 }
 
-/// Completed dataflow over a region's live subgraph.
-struct DataflowState {
-    live_vec: Vec<BlockId>,
-    index_of: BTreeMap<BlockId, usize>,
+/// Per-function tables built lazily, once per [`IdempotenceAnalyzer`],
+/// and shared by every region analysis over the same function.
+///
+/// Site indices are assigned scanning blocks in ascending `BlockId`
+/// order, positions in program order within a block — the same
+/// `(block, position)` order the old per-region tables followed, so
+/// ascending-index iteration over the function-level tables visits sites
+/// in the identical relative order within any region.
+struct FuncCache {
+    /// Local effects, indexed by block.
     effects: Vec<BlockEffects>,
-    ga: Vec<Option<GuardSet>>,
-    rs: Vec<BTreeSet<usize>>,
-    ea: Vec<BTreeSet<usize>>,
+    /// Per-block successor lists, precomputed once so region traversals
+    /// never re-materialize them from terminators.
+    succs: Vec<Vec<BlockId>>,
+    /// Every exposed-load occurrence in the function.
     load_table: Vec<LoadSite>,
+    /// Every may-store occurrence in the function.
     store_table: Vec<StoreSite>,
+    /// Per-block indices into `load_table`.
+    block_loads: Vec<Vec<usize>>,
+    /// Per-block indices into `store_table`.
+    block_stores: Vec<Vec<usize>>,
+    /// Sorted universe of guard addresses (any block's `must_guards`).
+    guard_table: Vec<GuardAddr>,
+    /// Per-block MUST sets over `guard_table`.
+    must_bits: Vec<BitSet>,
+    /// Per load: `Some(g)` when the load reads guardable cell
+    /// `guard_table[g]` (exposed unless GA covers `g`); `None` when it is
+    /// exposed unconditionally.
+    load_guard: Vec<Option<usize>>,
+    /// Memoized Eq. 4 conflict answers: `conflict_rows[l]` is the set of
+    /// store sites that may alias load `l`, built lazily per load and
+    /// retained for the analyzer's lifetime (replacing the old
+    /// per-region pair cache). Dense rows turn the per-block hazard
+    /// probe into a word-level `EA ∩ RS` intersection walk.
+    conflict_rows: Vec<OnceLock<BitSet>>,
+}
+
+/// Completed dataflow over a region's live subgraph. The RS/GA/EA sets
+/// are dense bitsets over the owning function's site/guard universes.
+struct DataflowState<'c> {
+    live_vec: Vec<BlockId>,
+    /// Block index → live index, `usize::MAX` for non-live blocks.
+    index_of: Vec<usize>,
+    cache: &'c FuncCache,
+    rs: Vec<BitSet>,
+    ga: Vec<Option<BitSet>>,
+    ea: Vec<BitSet>,
     unknown: bool,
     alloc: bool,
     pruned: BTreeSet<BlockId>,

@@ -20,7 +20,6 @@
 //! = 16 bytes; register checkpoints store one value = 8 bytes).
 
 use crate::region::CandidateRegion;
-use encore_analysis::Liveness;
 use encore_ir::{BlockId, FuncId, Inst, Module, Reg, RegionId, Terminator};
 use std::collections::BTreeMap;
 
@@ -163,12 +162,6 @@ pub fn instrument_module_with(
     let mut map = RegionMap::default();
     let mut storage = StorageReport::default();
 
-    // Liveness per function (computed on the original module).
-    let mut liveness: BTreeMap<FuncId, Liveness> = BTreeMap::new();
-    for (fid, func) in module.iter_funcs() {
-        liveness.insert(fid, Liveness::compute(func));
-    }
-
     for (idx, (cand, selected)) in candidates.iter().enumerate() {
         let rid = RegionId::new(idx as u32);
         let fid = cand.spec.func;
@@ -204,13 +197,12 @@ pub fn instrument_module_with(
 
             // 1–2. Header prologue: SetRecovery then register
             //      checkpoints, in deterministic (register id) order.
+            //      The clobbered set was computed with the candidate's
+            //      costing; no liveness pass runs here.
             let clobbered: Vec<Reg> = if elide_reg_ckpts {
                 Vec::new()
             } else {
-                liveness[&fid]
-                    .clobbered_live_ins(header, cand.analysis.live_blocks.iter().copied())
-                    .into_iter()
-                    .collect()
+                cand.costing.reg_ckpt_set.clone()
             };
             reg_ckpts_inserted = clobbered.len();
             let mut prologue = Vec::with_capacity(1 + clobbered.len());

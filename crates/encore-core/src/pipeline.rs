@@ -118,13 +118,48 @@ impl Encore {
             .config
             .alias
             .oracle_with(Some(std::sync::Arc::new(profile.mem.clone())));
-        let analyzer = IdempotenceAnalyzer::new(module, &oracle);
+        let analyzer = IdempotenceAnalyzer::new(module, oracle.as_ref());
 
-        // 1. Partition every function.
+        // 1. Partition every function, sharded across worker threads in
+        //    contiguous function-index ranges (the same deterministic
+        //    pattern as the SFI campaign): each function's partition is
+        //    independent of the others, and shard results are merged in
+        //    function order, so the outcome is bit-identical to a
+        //    sequential run for any worker count.
+        let fids: Vec<FuncId> = module.iter_funcs().map(|(fid, _)| fid).collect();
+        let n = fids.len();
+        let workers = match self.config.analysis_workers {
+            0 => std::thread::available_parallelism().map(usize::from).unwrap_or(1),
+            w => w,
+        }
+        .clamp(1, n.max(1));
+        let form = |fid: FuncId| {
+            RegionPartition::form(module, fid, &analyzer, profile, &self.config)
+        };
+        let parts: Vec<RegionPartition> = if workers <= 1 {
+            fids.iter().copied().map(form).collect()
+        } else {
+            let per = n.div_ceil(workers);
+            let fids = &fids;
+            let form = &form;
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|w| {
+                        let (lo, hi) = (w * per, ((w + 1) * per).min(n));
+                        scope.spawn(move || {
+                            fids[lo..hi].iter().copied().map(form).collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("analysis worker panicked"))
+                    .collect()
+            })
+        };
         let mut candidates: Vec<CandidateRegion> = Vec::new();
         let mut merges = 0usize;
-        for (fid, _) in module.iter_funcs() {
-            let part = RegionPartition::form(module, fid, &analyzer, profile, &self.config);
+        for part in parts {
             merges += part.merges;
             candidates.extend(part.regions);
         }

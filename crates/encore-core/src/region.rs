@@ -15,7 +15,7 @@
 use crate::config::EncoreConfig;
 use crate::idempotence::{IdempotenceAnalyzer, RegionAnalysis, RegionSpec};
 use encore_analysis::{FuncProfile, IntervalHierarchy, Liveness, Profile};
-use encore_ir::{BlockId, FuncId, Function, Module};
+use encore_ir::{BlockId, FuncId, Function, Module, Reg};
 use std::collections::BTreeSet;
 
 /// Cost/coverage numbers for one candidate region.
@@ -33,6 +33,9 @@ pub struct RegionCosting {
     pub ckpt_insts_hot: u64,
     /// Live-in registers the region overwrites (checkpointed at entry).
     pub reg_ckpts: usize,
+    /// The clobbered live-in registers themselves, ascending — computed
+    /// once here so instrumentation never re-runs liveness.
+    pub reg_ckpt_set: Vec<Reg>,
     /// Memory checkpoints required (|CP| restricted to live blocks).
     pub mem_ckpts: usize,
     /// Number of profiled activations of the region (header executions).
@@ -107,9 +110,33 @@ fn prune_fn<'a>(
     move |b: BlockId| config.should_prune(fp.prob_relative(b, header))
 }
 
+/// Per-function edge-frequency table: `freq[b][k]` is the profiled count
+/// of block `b`'s k-th successor edge, in successor order. Built once per
+/// partition so the greedy hot-path walk does not repeat profile map
+/// lookups inside its comparator.
+struct EdgeFreq {
+    freq: Vec<Vec<u64>>,
+}
+
+impl EdgeFreq {
+    fn new(func: &Function, fp: &FuncProfile) -> Self {
+        let freq = func
+            .block_ids()
+            .map(|b| {
+                func.block(b)
+                    .successors()
+                    .into_iter()
+                    .map(|s| fp.edge(b, s))
+                    .collect()
+            })
+            .collect();
+        Self { freq }
+    }
+}
+
 /// Computes the hot path of a region: greedy walk from the header along
 /// the most frequent in-region edges, stopping at a revisit or exit.
-fn hot_path(func: &Function, fp: &FuncProfile, spec: &RegionSpec) -> Vec<BlockId> {
+fn hot_path(func: &Function, ef: &EdgeFreq, spec: &RegionSpec) -> Vec<BlockId> {
     let mut path = vec![spec.header];
     let mut seen: BTreeSet<BlockId> = [spec.header].into_iter().collect();
     let mut cur = spec.header;
@@ -118,8 +145,10 @@ fn hot_path(func: &Function, fp: &FuncProfile, spec: &RegionSpec) -> Vec<BlockId
             .block(cur)
             .successors()
             .into_iter()
-            .filter(|s| spec.blocks.contains(s) && !seen.contains(s))
-            .max_by_key(|s| (fp.edge(cur, *s), std::cmp::Reverse(s.index())));
+            .enumerate()
+            .filter(|(_, s)| spec.blocks.contains(s) && !seen.contains(s))
+            .max_by_key(|(k, s)| (ef.freq[cur.index()][*k], std::cmp::Reverse(s.index())))
+            .map(|(_, s)| s);
         match next {
             Some(n) => {
                 seen.insert(n);
@@ -136,12 +165,13 @@ fn hot_path(func: &Function, fp: &FuncProfile, spec: &RegionSpec) -> Vec<BlockId
 fn cost_region(
     func: &Function,
     fp: &FuncProfile,
+    ef: &EdgeFreq,
     liveness: &Liveness,
     spec: &RegionSpec,
     analysis: &RegionAnalysis,
     total_dyn: u64,
 ) -> RegionCosting {
-    let path = hot_path(func, fp, spec);
+    let path = hot_path(func, ef, spec);
     let path_set: BTreeSet<BlockId> = path.iter().copied().collect();
     let hot_path_len: u64 = path
         .iter()
@@ -151,9 +181,11 @@ fn cost_region(
         })
         .sum();
 
-    let reg_ckpts = liveness
+    let reg_ckpt_set: Vec<Reg> = liveness
         .clobbered_live_ins(spec.header, analysis.live_blocks.iter().copied())
-        .len();
+        .into_iter()
+        .collect();
+    let reg_ckpts = reg_ckpt_set.len();
     let mem_ckpts = analysis.cp.len();
     let mem_ckpts_hot = analysis
         .cp
@@ -200,6 +232,7 @@ fn cost_region(
         hot_path_len,
         ckpt_insts_hot,
         reg_ckpts,
+        reg_ckpt_set,
         mem_ckpts,
         activations,
         dyn_insts,
@@ -222,6 +255,7 @@ impl RegionPartition {
         let func = module.func(fid);
         let fp = profile.func(fid);
         let liveness = Liveness::compute(func);
+        let edge_freq = EdgeFreq::new(func, fp);
         let hierarchy = IntervalHierarchy::compute(func);
         let total_dyn = profile.total_dyn_insts;
 
@@ -229,7 +263,8 @@ impl RegionPartition {
             let spec = RegionSpec { func: fid, header, blocks: blocks.clone() };
             let prune = prune_fn(fp, header, config);
             let analysis = analyzer.analyze_region(&spec, &prune);
-            let costing = cost_region(func, fp, &liveness, &spec, &analysis, total_dyn);
+            let costing =
+                cost_region(func, fp, &edge_freq, &liveness, &spec, &analysis, total_dyn);
             CandidateRegion { spec, analysis, costing }
         };
 
@@ -247,20 +282,20 @@ impl RegionPartition {
 
         let mut merges = 0usize;
 
+        /// Shared read-only inputs of the recursive merge walk.
+        struct WalkCtx<'w> {
+            hierarchy: &'w IntervalHierarchy,
+            children_of: &'w [Vec<Vec<usize>>],
+            make: &'w dyn Fn(BlockId, &BTreeSet<BlockId>) -> CandidateRegion,
+            fp: &'w FuncProfile,
+            config: &'w EncoreConfig,
+        }
+
         // Recursive bottom-up walk: the partition of interval (k, i) is
         // either the single merged region (when Eq. 5 approves) or the
         // concatenation of its children's partitions.
-        #[allow(clippy::too_many_arguments)] // local helper; a context struct would obscure the recursion
-        fn walk(
-            k: usize,
-            i: usize,
-            hierarchy: &IntervalHierarchy,
-            children_of: &[Vec<Vec<usize>>],
-            make: &dyn Fn(BlockId, &BTreeSet<BlockId>) -> CandidateRegion,
-            fp: &FuncProfile,
-            config: &EncoreConfig,
-            merges: &mut usize,
-        ) -> Vec<CandidateRegion> {
+        fn walk(ctx: &WalkCtx<'_>, k: usize, i: usize, merges: &mut usize) -> Vec<CandidateRegion> {
+            let WalkCtx { hierarchy, children_of, make, fp, config } = *ctx;
             if k == 0 {
                 let iv = &hierarchy.levels[0][i];
                 return vec![make(iv.header, &iv.blocks)];
@@ -268,7 +303,7 @@ impl RegionPartition {
             let kids = &children_of[k - 1][i];
             let mut parts: Vec<Vec<CandidateRegion>> = kids
                 .iter()
-                .map(|&j| walk(k - 1, j, hierarchy, children_of, make, fp, config, merges))
+                .map(|&j| walk(ctx, k - 1, j, merges))
                 .collect();
             // Trivial promotion: one child that itself stayed whole.
             if parts.len() == 1 {
@@ -327,19 +362,15 @@ impl RegionPartition {
         }
 
         let top = depth - 1;
+        let ctx = WalkCtx {
+            hierarchy: &hierarchy,
+            children_of: &children_of,
+            make: &make_candidate,
+            fp,
+            config,
+        };
         let mut regions: Vec<CandidateRegion> = (0..hierarchy.levels[top].len())
-            .flat_map(|i| {
-                walk(
-                    top,
-                    i,
-                    &hierarchy,
-                    &children_of,
-                    &make_candidate,
-                    fp,
-                    config,
-                    &mut merges,
-                )
-            })
+            .flat_map(|i| walk(&ctx, top, i, &mut merges))
             .collect();
         // Deterministic order: by header block id.
         regions.sort_by_key(|r| r.spec.header);

@@ -32,8 +32,7 @@ impl Pass for Dce {
             .map(|(i, b)| (encore_ir::BlockId::new(i as u32), b))
         {
             // Walk backward from the block live-out, marking dead defs.
-            let mut live: BTreeSet<encore_ir::Reg> =
-                liveness.live_out(bid).iter().copied().collect();
+            let mut live: BTreeSet<encore_ir::Reg> = liveness.live_out(bid);
             if let Some(t) = &block.term {
                 live.extend(t.uses());
             }

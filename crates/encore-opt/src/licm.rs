@@ -89,13 +89,13 @@ impl Pass for Licm {
                     }
                 }
             }
-            let live_at_header = liveness.live_in(l.header).clone();
+            let live_at_header = liveness.live_in(l.header);
             // Registers live on some exit edge out of the loop.
             let mut live_at_exit: BTreeSet<Reg> = BTreeSet::new();
             for &e in &l.exiting_blocks(func) {
                 for s in func.block(e).successors() {
                     if !l.blocks.contains(&s) {
-                        live_at_exit.extend(liveness.live_in(s).iter().copied());
+                        live_at_exit.extend(liveness.live_in(s));
                     }
                 }
             }

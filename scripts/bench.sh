@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Runs the analysis benchmark suite offline and records machine-readable
+# results in BENCH_analysis.json at the repo root (one JSON object per
+# suite, appended by the in-repo microbench harness via the
+# ENCORE_BENCH_JSON environment variable).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="BENCH_analysis.json"
+rm -f "$out"
+
+# Absolute path: cargo runs bench binaries with cwd = the package root,
+# so a relative path would land inside crates/encore-bench/.
+echo "==> cargo bench -p encore-bench --bench analysis --offline"
+ENCORE_BENCH_JSON="$PWD/$out" cargo bench -p encore-bench --bench analysis --offline
+
+echo "==> wrote $out"

@@ -144,6 +144,38 @@ fn pruning_shrinks_cp() {
     });
 }
 
+/// The bitset worklist engine agrees bit-for-bit with the retained
+/// naive round-robin reference solver — verdict, CP, violations, and
+/// block sets — with and without pruning.
+#[test]
+fn worklist_engine_matches_reference() {
+    check::<(Vec<Stmt>, Bounded<0, 6>)>(
+        "worklist_engine_matches_reference",
+        CASES,
+        |(stmts, cutoff)| {
+            let cutoff = cutoff.0 as u32;
+            let (module, entry) = build_program(stmts);
+            let spec = RegionSpec {
+                func: entry,
+                header: module.func(entry).entry(),
+                blocks: module.func(entry).block_ids().collect(),
+            };
+            let az = IdempotenceAnalyzer::new(&module, &StaticAlias);
+            prop_assert_eq!(
+                az.analyze_region(&spec, &|_| false),
+                az.analyze_region_reference(&spec, &|_| false)
+            );
+            let prune =
+                |b: encore::ir::BlockId| b.raw() % 7 < cutoff && b.raw() != 0;
+            prop_assert_eq!(
+                az.analyze_region(&spec, &prune),
+                az.analyze_region_reference(&spec, &prune)
+            );
+            Ok(())
+        },
+    );
+}
+
 /// The whole pipeline is deterministic.
 #[test]
 fn pipeline_is_deterministic() {

@@ -132,6 +132,31 @@ fn zero_budget_instruments_nothing_costly() {
 }
 
 #[test]
+fn analysis_worker_count_is_bit_identical() {
+    // The sharded per-function analysis loop must produce exactly the
+    // output of a sequential run, for every workload.
+    let seq = run_all(&EncoreConfig::default().with_analysis_workers(1));
+    let par = run_all(&EncoreConfig::default().with_analysis_workers(8));
+    for (s, p) in seq.iter().zip(&par) {
+        assert_eq!(s.name, p.name);
+        assert_eq!(
+            s.outcome.candidates, p.outcome.candidates,
+            "{}: candidates differ between 1 and 8 workers",
+            s.name
+        );
+        assert_eq!(
+            s.outcome.instrumented.module, p.outcome.instrumented.module,
+            "{}: instrumented module differs between 1 and 8 workers",
+            s.name
+        );
+        assert_eq!(s.outcome.reports, p.outcome.reports, "{}", s.name);
+        assert_eq!(s.outcome.est_overhead, p.outcome.est_overhead, "{}", s.name);
+        assert_eq!(s.outcome.derived_gamma, p.outcome.derived_gamma, "{}", s.name);
+        assert_eq!(s.outcome.merges, p.outcome.merges, "{}", s.name);
+    }
+}
+
+#[test]
 fn unlimited_budget_increases_protection() {
     let default_runs = run_all(&EncoreConfig::default());
     let rich_runs = run_all(&EncoreConfig::default().with_overhead_budget(10.0));
