@@ -48,13 +48,14 @@ fn bench_sfi_batch(bench: &mut Microbench) {
     let outcome =
         Encore::new(EncoreConfig::default()).run(&prepared.workload.module, &prepared.profile);
     let sfi = SfiConfig { injections: 20, dmax: 100, workers: 1, ..Default::default() };
-    let campaign = SfiCampaign::new(
+    let campaign = SfiCampaign::prepare(
         &outcome.instrumented.module,
         Some(&outcome.instrumented.map),
         prepared.workload.entry,
         &[Value::Int(prepared.workload.eval_arg)],
         &sfi,
-    );
+    )
+    .expect("golden run completes");
     bench.bench("sfi_batch_20", || campaign.run(&sfi));
 }
 
@@ -65,13 +66,14 @@ fn campaign_scaling() {
     let outcome =
         Encore::new(EncoreConfig::default()).run(&prepared.workload.module, &prepared.profile);
     let base = SfiConfig { injections: 1000, dmax: 100, workers: 1, ..Default::default() };
-    let campaign = SfiCampaign::new(
+    let campaign = SfiCampaign::prepare(
         &outcome.instrumented.module,
         Some(&outcome.instrumented.map),
         prepared.workload.entry,
         &[Value::Int(prepared.workload.eval_arg)],
         &base,
-    );
+    )
+    .expect("golden run completes");
 
     println!("## campaign_scaling (g721encode, 1000 injections)\n");
     let t = Instant::now();

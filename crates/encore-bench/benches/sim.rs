@@ -1,0 +1,68 @@
+//! Simulator suite: golden-run execution rate and SFI campaign
+//! throughput, the numbers behind `BENCH_sim.json`.
+//!
+//! Three measurements per workload:
+//!
+//! * `golden_run` — one fault-free instrumented execution (the
+//!   pre-decoded interpreter's raw speed);
+//! * `campaign_40` — a 40-injection campaign on the default
+//!   snapshot-and-resume path (what `encore sfi` runs);
+//! * `campaign_40_scratch` — the same campaign with snapshotting
+//!   disabled (`snapshot_stride: 0`), isolating how much of the
+//!   campaign speedup comes from checkpoint reuse vs. the interpreter
+//!   itself.
+//!
+//! Campaign rows also print injections/sec derived from the fastest
+//! iteration (min-of-N, the least noise-contaminated figure on a
+//! shared machine). Run with `cargo bench --bench sim --offline`.
+
+use encore_bench::microbench::Microbench;
+use encore_bench::prepare;
+use encore_core::{Encore, EncoreConfig};
+use encore_sim::{run_function, RunConfig, SfiCampaign, SfiConfig, Value};
+
+const INJECTIONS: usize = 40;
+
+fn main() {
+    let mut bench = Microbench::new("sim");
+    let mut throughput: Vec<(String, f64)> = Vec::new();
+    for name in ["rawdaudio", "g721encode"] {
+        let prepared = prepare(encore_workloads::by_name(name).expect("workload"));
+        let outcome = Encore::new(EncoreConfig::default())
+            .run(&prepared.workload.module, &prepared.profile);
+        let module = &outcome.instrumented.module;
+        let map = Some(&outcome.instrumented.map);
+        let entry = prepared.workload.entry;
+        let args = [Value::Int(prepared.workload.eval_arg)];
+
+        bench.bench(&format!("golden_run/{name}"), || {
+            run_function(module, map, entry, &args, &RunConfig::default())
+        });
+
+        let snap = SfiConfig { injections: INJECTIONS, dmax: 100, workers: 1, ..Default::default() };
+        let campaign = SfiCampaign::prepare(module, map, entry, &args, &snap)
+            .expect("golden run completes");
+        let s = bench.bench(&format!("campaign_{INJECTIONS}/{name}"), || campaign.run(&snap));
+        throughput.push((
+            format!("campaign_{INJECTIONS}/{name}"),
+            INJECTIONS as f64 / (s.min_ns / 1e9),
+        ));
+
+        let scratch = SfiConfig { snapshot_stride: 0, ..snap };
+        let campaign = SfiCampaign::prepare(module, map, entry, &args, &scratch)
+            .expect("golden run completes");
+        let s = bench.bench(&format!("campaign_{INJECTIONS}_scratch/{name}"), || {
+            campaign.run(&scratch)
+        });
+        throughput.push((
+            format!("campaign_{INJECTIONS}_scratch/{name}"),
+            INJECTIONS as f64 / (s.min_ns / 1e9),
+        ));
+    }
+    bench.finish();
+
+    println!("campaign throughput (injections/sec, from min-of-N):");
+    for (label, per_sec) in throughput {
+        println!("  {label:<36} {per_sec:>10.0}/s");
+    }
+}

@@ -33,13 +33,14 @@ fn sfi_n() -> usize {
 fn evaluate(prepared: &PreparedWorkload, config: &EncoreConfig, injections: usize) -> (f64, f64, f64) {
     let run = encore_run(prepared, config);
     let sfi = SfiConfig { injections, dmax: config.dmax, ..Default::default() };
-    let campaign = SfiCampaign::new(
+    let campaign = SfiCampaign::prepare(
         &run.outcome.instrumented.module,
         Some(&run.outcome.instrumented.map),
         prepared.workload.entry,
         &[Value::Int(prepared.workload.eval_arg)],
         &sfi,
-    );
+    )
+    .expect("golden run completes");
     let stats = campaign.run(&sfi);
     (
         run.outcome.breakdown.protected_fraction(),

@@ -7,7 +7,10 @@
 //! Monte-Carlo fault injections per workload in the interpreter
 //! (bit flips + detection latency + actual rollback).
 //!
-//! Usage: `fig8 [--workloads a,b,c] [--sfi N] [--seed S] [--workers W]`
+//! Usage: `fig8 [--workloads a,b,c] [--sfi N] [--seed S] [--workers W]
+//! [--snapshot-stride K]` — `K` controls how often the golden run is
+//! checkpointed for snapshot-and-resume injection (0 = from scratch;
+//! outcomes are bit-identical at every stride).
 
 use encore_bench::report::{banner, pct, Table};
 use encore_bench::{encore_run, prepare, selected_workloads};
@@ -30,6 +33,8 @@ fn main() {
     let sfi_n = arg_value("--sfi").unwrap_or(0) as usize;
     let seed = arg_value("--seed").unwrap_or(0xE7_C04E);
     let workers = arg_value("--workers").unwrap_or(0) as usize;
+    let snapshot_stride =
+        arg_value("--snapshot-stride").unwrap_or(SfiConfig::default().snapshot_stride);
 
     let mut table = Table::new(&[
         "workload",
@@ -75,15 +80,17 @@ fn main() {
                     dmax,
                     seed,
                     workers,
+                    snapshot_stride,
                     ..Default::default()
                 };
-                let campaign = SfiCampaign::new(
+                let campaign = SfiCampaign::prepare(
                     &run.outcome.instrumented.module,
                     Some(&run.outcome.instrumented.map),
                     entry,
                     &[Value::Int(eval_arg)],
                     &sfi_config,
-                );
+                )
+                .expect("golden run completes");
                 let stats = campaign.run(&sfi_config);
                 let composed = MaskingModel::arm926().compose(&stats);
                 sfi_table.row(vec![

@@ -101,7 +101,9 @@ impl Microbench {
     /// `ENCORE_BENCH_JSON` environment variable names a file, the
     /// group's samples are additionally appended to it as one JSON
     /// object per line (`scripts/bench.sh` uses this to produce the
-    /// machine-readable `BENCH_analysis.json`).
+    /// machine-readable `BENCH_analysis.json`). `ENCORE_BENCH_LABEL`,
+    /// when set, is recorded in each emitted line so before/after rows
+    /// in the same file stay distinguishable.
     pub fn finish(self) {
         println!("\n## {}\n", self.title);
         let mut table = Table::new(&["benchmark", "iters", "min", "median", "mean"]);
@@ -128,7 +130,13 @@ impl Microbench {
     fn append_json(&self, path: &str) -> std::io::Result<()> {
         use std::io::Write;
         let mut out = String::new();
-        out.push_str(&format!("{{\"suite\": {:?}, \"benchmarks\": [", self.title));
+        out.push_str(&format!("{{\"suite\": {:?}, ", self.title));
+        if let Ok(label) = std::env::var("ENCORE_BENCH_LABEL") {
+            if !label.is_empty() {
+                out.push_str(&format!("\"label\": {label:?}, "));
+            }
+        }
+        out.push_str("\"benchmarks\": [");
         for (i, s) in self.samples.iter().enumerate() {
             if i > 0 {
                 out.push_str(", ");

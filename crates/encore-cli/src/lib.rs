@@ -62,6 +62,10 @@ pub struct Options {
     pub seed: u64,
     /// Worker threads for `sfi` (0 = all available cores).
     pub workers: usize,
+    /// Golden-run checkpoint stride for `sfi` (dynamic instructions
+    /// between snapshots; 0 = run every injection from scratch).
+    /// Outcomes are bit-identical at every stride.
+    pub snapshot_stride: u64,
     /// Worker threads for the pipeline's per-function analysis loop
     /// (0 = all available cores); output is bit-identical at any count.
     pub analysis_workers: usize,
@@ -81,6 +85,7 @@ impl Default for Options {
             dmax: 100,
             seed: SfiConfig::default().seed,
             workers: 0,
+            snapshot_stride: SfiConfig::default().snapshot_stride,
             analysis_workers: 0,
             output: None,
         }
@@ -140,6 +145,11 @@ impl Options {
                     opts.workers = take("--workers")?
                         .parse()
                         .map_err(|e| err(format!("--workers: {e}")))?
+                }
+                "--snapshot-stride" => {
+                    opts.snapshot_stride = take("--snapshot-stride")?
+                        .parse()
+                        .map_err(|e| err(format!("--snapshot-stride: {e}")))?
                 }
                 "--analysis-workers" => {
                     opts.analysis_workers = take("--analysis-workers")?
@@ -372,15 +382,17 @@ pub fn cmd_sfi(text: &str, opts: &Options) -> Result<String, CliError> {
         dmax: opts.dmax,
         seed: opts.seed,
         workers: opts.workers,
+        snapshot_stride: opts.snapshot_stride,
         ..Default::default()
     };
-    let campaign = SfiCampaign::new(
+    let campaign = SfiCampaign::prepare(
         &outcome.instrumented.module,
         Some(&outcome.instrumented.map),
         entry,
         &[Value::Int(opts.eval_arg)],
         &sfi,
-    );
+    )
+    .map_err(|e| err(format!("cannot run campaign: {e} (is --eval-arg valid for this workload?)")))?;
     let stats = campaign.run(&sfi);
     let composed = MaskingModel::arm926().compose(&stats);
     let mut out = String::new();
@@ -452,6 +464,10 @@ FLAGS:
     --seed N            sfi campaign seed (same seed reproduces the
                         campaign bit-for-bit at any worker count)
     --workers N         sfi worker threads         (default 0 = all cores)
+    --snapshot-stride N sfi golden-run checkpoint stride in dynamic
+                        instructions; injections resume from the nearest
+                        checkpoint (default 256, 0 = from scratch;
+                        outcomes are bit-identical at every stride)
     --analysis-workers N  pipeline analysis worker threads
                         (default 0 = all cores; output is bit-identical
                         at any worker count)

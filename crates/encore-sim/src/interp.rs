@@ -21,6 +21,8 @@
 
 use crate::externs::Externs;
 use crate::memory::Memory;
+use crate::predecode::{BaseMode, DecodedAddr, DecodedModule, MicroOp};
+use crate::snapshot::{Snapshot, SnapshotLog};
 use crate::value::{eval_bin, eval_un, Value};
 use encore_core::RegionMap;
 use encore_analysis::Profile;
@@ -161,18 +163,112 @@ impl RunResult {
     }
 }
 
+#[derive(Clone)]
 struct RecoveryState {
     region: RegionId,
     recovery_block: BlockId,
     log: Vec<CkptEntry>,
+    /// Running byte size of `log` (memory entries 16 B, register entries
+    /// 8 B), maintained incrementally so the per-checkpoint high-water
+    /// update is O(1) instead of a rescan of the whole log.
+    log_bytes: u64,
+    /// Global activation ordinal assigned when this recovery was armed
+    /// (see [`SpliceTrack`]).
+    act_ordinal: u64,
 }
 
+/// Equality deliberately ignores `act_ordinal`: a rollback's re-executed
+/// arming draws a fresh ordinal, so a rolled-back run's ordinals are
+/// permanently offset from the golden run's even once the architectural
+/// state has fully reconverged. The ordinal is only ever read when a
+/// detection unwinds to the frame, which cannot happen after a
+/// convergence check passes (the fault was consumed by the rollback that
+/// preceded it).
+impl PartialEq for RecoveryState {
+    fn eq(&self, other: &Self) -> bool {
+        self.region == other.region
+            && self.recovery_block == other.recovery_block
+            && self.log == other.log
+            && self.log_bytes == other.log_bytes
+    }
+}
+
+#[derive(Clone, PartialEq)]
 enum CkptEntry {
     Mem { obj: usize, idx: i64, val: Value },
     Reg { reg: Reg, val: Value },
 }
 
-struct Frame {
+/// Bookkeeping for the campaign's *convergence splice*.
+///
+/// A rolled-back injection run usually re-executes its region cleanly
+/// and then tracks the golden run instruction-for-instruction to the
+/// end — all of which the campaign re-simulates just to conclude
+/// "recovered". The splice shortcuts that: once the run's complete
+/// architectural state *equals* a golden snapshot's, its remaining
+/// execution is provably identical to the golden run's (state equality
+/// is self-justifying — equal state implies equal future under the
+/// deterministic interpreter), so the run can stop right there.
+///
+/// The only heuristic part is deciding *where* to compare. Activations
+/// anchor that: the golden run logs its dynamic instruction count at
+/// each `SetRecovery` (by global activation ordinal), and a rollback
+/// remembers the armed ordinal so the re-executed arming can measure
+/// `delta` — how far the faulted run's instruction count has drifted
+/// ahead of the golden run's at the same program point. Golden
+/// snapshots are then probed at `snapshot dyn + delta`. A wrong or
+/// unmeasurable `delta` can only make comparisons fail, never pass, so
+/// every miss falls back to plain execution.
+#[derive(Default)]
+struct SpliceTrack {
+    /// Splice bookkeeping requested (campaign injection runs only).
+    armed: bool,
+    /// `SetRecovery` executions retired so far (the activation ordinal
+    /// counter). Snapshots carry it so resumed runs keep numbering
+    /// where the golden prefix left off.
+    activations: u64,
+    /// Golden capture: dyn count at each `SetRecovery`, by ordinal.
+    act_log: Option<Vec<u64>>,
+    /// Armed ordinal of the region a rollback unwound to; consumed by
+    /// the next `SetRecovery`.
+    pending_realign: Option<u64>,
+    /// `(dyn at the re-executed SetRecovery, golden ordinal)` — the
+    /// realignment point the splice driver probes from.
+    realign: Option<(u64, u64)>,
+}
+
+impl SpliceTrack {
+    /// Notes one `SetRecovery` execution at dyn count `now`, returning
+    /// the activation's ordinal and whether this arming realigned a
+    /// rolled-back run (a control event the sprint must surface).
+    #[inline]
+    fn on_set_recovery(&mut self, now: u64) -> (u64, bool) {
+        let ordinal = self.activations;
+        self.activations += 1;
+        if let Some(log) = &mut self.act_log {
+            log.push(now);
+        }
+        let mut event = false;
+        if let Some(ord) = self.pending_realign.take() {
+            self.realign = Some((now, ord));
+            event = true;
+        }
+        (ordinal, event)
+    }
+
+    /// Notes a rollback into the recovery armed under `armed_ordinal`.
+    fn on_rollback(&mut self, armed_ordinal: u64) {
+        if self.armed {
+            self.pending_realign = Some(armed_ordinal);
+        }
+    }
+}
+
+/// One activation record. `Clone` because frames are part of a
+/// [`Snapshot`]; `PartialEq` because frames are part of the splice's
+/// convergence predicate.
+#[derive(Clone, PartialEq)]
+pub(crate) struct Frame {
     func: FuncId,
     block: BlockId,
     ip: usize,
@@ -189,10 +285,26 @@ struct FaultState {
     detected: bool,
 }
 
-/// The interpreter.
-pub struct Machine<'a> {
-    module: &'a Module,
-    map: Option<&'a RegionMap>,
+/// How [`Machine::run_to_end_or_splice`] finished.
+pub(crate) enum SpliceRun {
+    /// Ran to completion or a terminal trap, exactly like
+    /// [`Machine::run_to_end`].
+    Done(Option<Trap>),
+    /// After a rollback, the machine's architectural state became
+    /// equal to a golden snapshot's at the realigned position with
+    /// enough fuel to cover the golden suffix: the rest of the run is
+    /// provably identical to the golden run, so the outcome is a
+    /// certain `Recovered` without executing the suffix.
+    Converged,
+}
+
+/// The interpreter. `'m` is the module's lifetime, `'c` the pre-decoded
+/// stream's: a campaign owns one [`DecodedModule`] and threads it
+/// through many short-lived machines.
+pub(crate) struct Machine<'m, 'c> {
+    module: &'m Module,
+    code: &'c DecodedModule<'m>,
+    map: Option<&'m RegionMap>,
     mem: Memory,
     frames: Vec<Frame>,
     externs: Externs,
@@ -200,20 +312,25 @@ pub struct Machine<'a> {
     instr_dyn: u64,
     frame_seq: u32,
     heap_seq: u32,
-    last_alloc_of_site: BTreeMap<u32, usize>,
+    last_alloc_of_site: Vec<Option<usize>>,
     profile: Option<Profile>,
     trace: Option<Vec<MemEvent>>,
-    region_dyn: BTreeMap<RegionId, u64>,
+    region_dyn: Vec<u64>,
+    region_touched: Vec<bool>,
     region_accounting: bool,
+    /// Profile or trace collection requested: every instruction must go
+    /// through the general executor (the fast path records neither).
+    observing: bool,
     fault: Option<FaultState>,
     telemetry: FaultTelemetry,
     eligible_seen: u64,
     ckpt_high_water: u64,
+    splice: SpliceTrack,
     fuel: u64,
     final_ret: Option<Value>,
 }
 
-impl std::fmt::Debug for Machine<'_> {
+impl std::fmt::Debug for Machine<'_, '_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Machine")
             .field("module", &self.module.name)
@@ -223,9 +340,225 @@ impl std::fmt::Debug for Machine<'_> {
     }
 }
 
+/// Reads an operand against `frame`: the fast path's mirror of
+/// [`Machine::operand`], taking the frame directly so `step` resolves
+/// `frames.last_mut()` once per instruction instead of once per use.
+#[inline]
+fn opnd(frame: &Frame, op: &Operand) -> Value {
+    match op {
+        Operand::Reg(r) => frame.regs[r.index()],
+        Operand::ImmI(v) => Value::Int(*v),
+        Operand::ImmF(v) => Value::Float(*v),
+    }
+}
+
+/// Resolves a pre-decoded address to `(object handle, cell index)`: the
+/// fast path's mirror of [`Machine::resolve`], with global bases already
+/// reduced to their object handle at decode time. Trap messages are
+/// identical to the general path's.
+#[inline]
+fn resolve_decoded(
+    frame: &Frame,
+    last_alloc_of_site: &[Option<usize>],
+    now: u64,
+    addr: &DecodedAddr,
+) -> Result<(usize, i64), Trap> {
+    let (obj, base_idx) = match addr.base {
+        BaseMode::Global(h) => (h, 0i64),
+        BaseMode::Slot(s) => {
+            let h = *frame.slots.get(s.index()).ok_or_else(|| Trap {
+                kind: TrapKind::Memory(format!("undeclared slot {s}")),
+                at: now,
+            })?;
+            (h, 0)
+        }
+        BaseMode::Heap(h) => {
+            let handle = last_alloc_of_site
+                .get(h.index())
+                .copied()
+                .flatten()
+                .ok_or_else(|| Trap {
+                    kind: TrapKind::Memory(format!("heap site {h} has no allocation")),
+                    at: now,
+                })?;
+            (handle, 0)
+        }
+        BaseMode::RegPtr(r) => match frame.regs[r.index()] {
+            Value::Ptr { obj, idx } => (obj, idx),
+            other => {
+                return Err(Trap {
+                    kind: TrapKind::Memory(format!(
+                        "register {r} does not hold a pointer (holds {other})"
+                    )),
+                    at: now,
+                })
+            }
+        },
+    };
+    let off = match addr.off {
+        Offset::Const(c) => c,
+        Offset::Scaled { index, scale, disp } => match frame.regs[index.index()] {
+            Value::Int(i) => i.wrapping_mul(scale).wrapping_add(disp),
+            other => {
+                return Err(Trap {
+                    kind: TrapKind::Memory(format!(
+                        "index register {index} is not an integer (holds {other})"
+                    )),
+                    at: now,
+                })
+            }
+        },
+    };
+    Ok((obj, base_idx.wrapping_add(off)))
+}
+
+/// The fast path's mirror of [`Machine::maybe_inject`], taking the
+/// fault fields as split borrows so the current frame can stay mutably
+/// borrowed across the call. Sets `fired` when the fault is injected by
+/// this call (the sprint loop then tightens its detection bound).
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn inject(
+    fault: &mut Option<FaultState>,
+    eligible_seen: &mut u64,
+    now: u64,
+    telemetry: &mut FaultTelemetry,
+    site: (FuncId, BlockId),
+    v: Value,
+    fired: &mut bool,
+) -> Value {
+    let ordinal = *eligible_seen;
+    *eligible_seen += 1;
+    let Some(f) = fault else { return v };
+    if !f.injected && ordinal == f.plan.inject_at {
+        f.injected = true;
+        f.detect_at = Some(now + f.plan.detect_latency);
+        telemetry.injected = true;
+        telemetry.inject_site = Some(site);
+        *fired = true;
+        return v.flip_bit(f.plan.bit);
+    }
+    v
+}
+
+/// Executes one pre-lowered instruction against split borrows of the
+/// machine: the body of the interpreter's sprint loop. Semantically
+/// identical to [`Machine::exec_inst`] on the same opcode, minus the
+/// profiling/tracing hooks (the caller guarantees neither is active).
+/// `now` is the already-charged dynamic instruction count; the caller
+/// has already advanced the instruction pointer.
+///
+/// Returns `Ok(true)` on a *control event* the sprint must surface:
+/// either this instruction injected the planned fault (the sprint then
+/// tightens its detection bound), or — with no fault live — a
+/// `SetRecovery` realigned a rolled-back run (the sprint pauses so the
+/// splice driver can start probing golden snapshots).
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn exec_fast(
+    op: &MicroOp<'_>,
+    frame: &mut Frame,
+    mem: &mut Memory,
+    fault: &mut Option<FaultState>,
+    eligible_seen: &mut u64,
+    telemetry: &mut FaultTelemetry,
+    last_alloc_of_site: &[Option<usize>],
+    ckpt_high_water: &mut u64,
+    splice: &mut SpliceTrack,
+    site: (FuncId, BlockId),
+    now: u64,
+) -> Result<bool, Trap> {
+    let mut fired = false;
+    match op {
+        MicroOp::Bin { op, dst, lhs, rhs } => {
+            let a = opnd(frame, lhs);
+            let b = opnd(frame, rhs);
+            let v = eval_bin(*op, a, b)
+                .map_err(|e| Trap { kind: TrapKind::Eval(e.message), at: now })?;
+            let v = inject(fault, eligible_seen, now, telemetry, site, v, &mut fired);
+            frame.regs[dst.index()] = v;
+        }
+        MicroOp::Un { op, dst, src } => {
+            let a = opnd(frame, src);
+            let v =
+                eval_un(*op, a).map_err(|e| Trap { kind: TrapKind::Eval(e.message), at: now })?;
+            let v = inject(fault, eligible_seen, now, telemetry, site, v, &mut fired);
+            frame.regs[dst.index()] = v;
+        }
+        MicroOp::Mov { dst, src } => {
+            let v = opnd(frame, src);
+            let v = inject(fault, eligible_seen, now, telemetry, site, v, &mut fired);
+            frame.regs[dst.index()] = v;
+        }
+        MicroOp::Load { dst, addr } => {
+            let (obj, idx) = resolve_decoded(frame, last_alloc_of_site, now, addr)?;
+            let v = mem
+                .read(obj, idx)
+                .map_err(|e| Trap { kind: TrapKind::Memory(e.message), at: now })?;
+            let v = inject(fault, eligible_seen, now, telemetry, site, v, &mut fired);
+            frame.regs[dst.index()] = v;
+        }
+        MicroOp::Store { addr, src } => {
+            let (obj, idx) = resolve_decoded(frame, last_alloc_of_site, now, addr)?;
+            let v = opnd(frame, src);
+            let v = inject(fault, eligible_seen, now, telemetry, site, v, &mut fired);
+            mem.write(obj, idx, v)
+                .map_err(|e| Trap { kind: TrapKind::Memory(e.message), at: now })?;
+        }
+        MicroOp::Lea { dst, addr } => {
+            // Like the general path, address materialization is not
+            // fault-eligible.
+            let (obj, idx) = resolve_decoded(frame, last_alloc_of_site, now, addr)?;
+            frame.regs[dst.index()] = Value::Ptr { obj, idx };
+        }
+        // Instrumentation (not fault-eligible in the general path
+        // either). The recovery block was pre-resolved at decode time;
+        // the unresolvable cases stay `Slow` and trap over there.
+        MicroOp::SetRecovery { region, recovery_block } => {
+            let (ordinal, event) = splice.on_set_recovery(now);
+            frame.recovery = Some(RecoveryState {
+                region: *region,
+                recovery_block: *recovery_block,
+                log: Vec::new(),
+                log_bytes: 0,
+                act_ordinal: ordinal,
+            });
+            if event {
+                fired = true;
+            }
+        }
+        MicroOp::CkptMem { addr } => {
+            let (obj, idx) = resolve_decoded(frame, last_alloc_of_site, now, addr)?;
+            let val = mem
+                .read(obj, idx)
+                .map_err(|e| Trap { kind: TrapKind::Memory(e.message), at: now })?;
+            if let Some(rec) = &mut frame.recovery {
+                rec.log.push(CkptEntry::Mem { obj, idx, val });
+                rec.log_bytes += 16;
+                *ckpt_high_water = (*ckpt_high_water).max(rec.log_bytes);
+            }
+        }
+        MicroOp::CkptReg { reg } => {
+            let val = frame.regs[reg.index()];
+            if let Some(rec) = &mut frame.recovery {
+                rec.log.push(CkptEntry::Reg { reg: *reg, val });
+                rec.log_bytes += 8;
+                *ckpt_high_water = (*ckpt_high_water).max(rec.log_bytes);
+            }
+        }
+        // The sprint loop routes `Slow` through the general executor.
+        MicroOp::Slow(_) => unreachable!("slow ops dispatch through exec_inst"),
+    }
+    Ok(fired)
+}
+
 /// Runs `entry(args)` on `module` under `config`. `map` supplies the
 /// recovery metadata for instrumented modules (pass `None` for plain
 /// ones).
+///
+/// Decodes the module on entry; callers that run the same module many
+/// times (campaigns) should decode once and use the machine-level API
+/// instead.
 pub fn run_function(
     module: &Module,
     map: Option<&RegionMap>,
@@ -233,15 +566,76 @@ pub fn run_function(
     args: &[Value],
     config: &RunConfig,
 ) -> RunResult {
-    let mut m = Machine::new(module, map, config);
-    m.call(entry, args, None);
-    m.run(config)
+    let code = DecodedModule::new(module, map);
+    let mut m = Machine::start(module, &code, map, entry, args, config);
+    let trap = m.run_to_end();
+    m.into_result(trap)
 }
 
-impl<'a> Machine<'a> {
-    fn new(module: &'a Module, map: Option<&'a RegionMap>, config: &RunConfig) -> Self {
+/// Like [`run_function`] but additionally captures a [`Snapshot`] of
+/// the machine every `stride` dynamic instructions (`0` disables
+/// capture). The run itself is unperturbed: the returned [`RunResult`]
+/// is bit-identical to [`run_function`]'s.
+///
+/// # Panics
+///
+/// Panics if `config` requests a fault, a profile or a trace — none of
+/// those are part of a snapshot, so resuming would be lossy.
+pub fn run_function_with_snapshots<'m>(
+    module: &'m Module,
+    map: Option<&'m RegionMap>,
+    code: &DecodedModule<'m>,
+    entry: FuncId,
+    args: &[Value],
+    config: &RunConfig,
+    stride: u64,
+) -> (RunResult, SnapshotLog) {
+    assert!(config.fault.is_none(), "snapshot capture requires a fault-free run");
+    assert!(
+        !config.collect_profile && !config.collect_trace,
+        "snapshots do not capture profiles or traces"
+    );
+    let mut m = Machine::start(module, code, map, entry, args, config);
+    let mut log = SnapshotLog::new(stride);
+    let trap = if stride == 0 {
+        m.run_to_end()
+    } else {
+        m.enable_act_log();
+        m.run_to_end_capturing(stride, &mut log)
+    };
+    log.set_activation_dyn(m.take_act_log());
+    (m.into_result(trap), log)
+}
+
+/// Resumes execution from `snapshot` under `config` and runs to
+/// completion. With the same module, decoded stream and extern seed the
+/// result is bit-identical to a from-scratch run that reached the
+/// snapshot point — including fault injection: `config.fault` plans
+/// with `inject_at >= snapshot.eligible_seen()` fire exactly as they
+/// would from scratch, because every counter in the snapshot is
+/// absolute.
+pub fn resume_function<'m>(
+    module: &'m Module,
+    map: Option<&'m RegionMap>,
+    code: &DecodedModule<'m>,
+    snapshot: &Snapshot,
+    config: &RunConfig,
+) -> RunResult {
+    let mut m = Machine::from_snapshot(module, code, map, snapshot, config);
+    let trap = m.run_to_end();
+    m.into_result(trap)
+}
+
+impl<'m, 'c> Machine<'m, 'c> {
+    fn new(
+        module: &'m Module,
+        code: &'c DecodedModule<'m>,
+        map: Option<&'m RegionMap>,
+        config: &RunConfig,
+    ) -> Self {
         Self {
             module,
+            code,
             map,
             mem: Memory::for_module(module),
             frames: Vec::new(),
@@ -250,11 +644,13 @@ impl<'a> Machine<'a> {
             instr_dyn: 0,
             frame_seq: 0,
             heap_seq: 0,
-            last_alloc_of_site: BTreeMap::new(),
+            last_alloc_of_site: vec![None; code.heap_site_count],
             profile: config.collect_profile.then(|| Profile::empty_for(module)),
             trace: config.collect_trace.then(Vec::new),
-            region_dyn: BTreeMap::new(),
+            region_dyn: vec![0; code.region_count],
+            region_touched: vec![false; code.region_count],
             region_accounting: config.region_accounting,
+            observing: config.collect_profile || config.collect_trace,
             fault: config.fault.map(|plan| FaultState {
                 plan,
                 injected: false,
@@ -264,8 +660,90 @@ impl<'a> Machine<'a> {
             telemetry: FaultTelemetry::default(),
             eligible_seen: 0,
             ckpt_high_water: 0,
+            splice: SpliceTrack::default(),
             fuel: config.fuel,
             final_ret: None,
+        }
+    }
+
+    /// A machine poised at the first instruction of `entry(args)`.
+    pub(crate) fn start(
+        module: &'m Module,
+        code: &'c DecodedModule<'m>,
+        map: Option<&'m RegionMap>,
+        entry: FuncId,
+        args: &[Value],
+        config: &RunConfig,
+    ) -> Self {
+        let mut m = Self::new(module, code, map, config);
+        m.call(entry, args, None);
+        m
+    }
+
+    /// A machine restored to `snap`'s state, ready to resume under
+    /// `config` (which supplies the fault plan and fuel; profiles and
+    /// traces cannot cross a snapshot boundary).
+    pub(crate) fn from_snapshot(
+        module: &'m Module,
+        code: &'c DecodedModule<'m>,
+        map: Option<&'m RegionMap>,
+        snap: &Snapshot,
+        config: &RunConfig,
+    ) -> Self {
+        debug_assert!(
+            !config.collect_profile && !config.collect_trace,
+            "profiles/traces cannot be resumed from a snapshot"
+        );
+        Self {
+            module,
+            code,
+            map,
+            mem: snap.mem.clone(),
+            frames: snap.frames.clone(),
+            externs: snap.externs.clone(),
+            dyn_insts: snap.dyn_insts,
+            instr_dyn: snap.instr_dyn,
+            frame_seq: snap.frame_seq,
+            heap_seq: snap.heap_seq,
+            last_alloc_of_site: snap.last_alloc_of_site.clone(),
+            profile: None,
+            trace: None,
+            region_dyn: snap.region_dyn.clone(),
+            region_touched: snap.region_touched.clone(),
+            region_accounting: config.region_accounting,
+            observing: false,
+            fault: config.fault.map(|plan| FaultState {
+                plan,
+                injected: false,
+                detect_at: None,
+                detected: false,
+            }),
+            telemetry: FaultTelemetry::default(),
+            eligible_seen: snap.eligible_seen,
+            ckpt_high_water: snap.ckpt_high_water,
+            splice: SpliceTrack { activations: snap.activations, ..SpliceTrack::default() },
+            fuel: config.fuel,
+            final_ret: None,
+        }
+    }
+
+    /// Captures the complete resumable state at the current step
+    /// boundary.
+    fn capture_snapshot(&self) -> Snapshot {
+        Snapshot {
+            frames: self.frames.clone(),
+            mem: self.mem.clone(),
+            externs: self.externs.clone(),
+            dyn_insts: self.dyn_insts,
+            instr_dyn: self.instr_dyn,
+            frame_seq: self.frame_seq,
+            heap_seq: self.heap_seq,
+            last_alloc_of_site: self.last_alloc_of_site.clone(),
+            region_dyn: self.region_dyn.clone(),
+            region_touched: self.region_touched.clone(),
+            eligible_seen: self.eligible_seen,
+            ckpt_high_water: self.ckpt_high_water,
+            activations: self.splice.activations,
         }
     }
 
@@ -312,7 +790,10 @@ impl<'a> Machine<'a> {
         }
     }
 
-    fn charge(&mut self, func: FuncId, block: BlockId, cost: u64, instrumentation: bool) {
+    /// Accounts one retirement. `region` comes pre-resolved from the
+    /// decoded block, so the hot path is two dense array writes instead
+    /// of nested `BTreeMap` probes.
+    fn charge(&mut self, func: FuncId, region: Option<RegionId>, cost: u64, instrumentation: bool) {
         self.dyn_insts += cost;
         if instrumentation {
             self.instr_dyn += cost;
@@ -322,10 +803,9 @@ impl<'a> Machine<'a> {
             p.total_dyn_insts += cost;
         }
         if self.region_accounting {
-            if let Some(map) = self.map {
-                if let Some(rid) = map.region_of(func, block) {
-                    *self.region_dyn.entry(rid).or_insert(0) += cost;
-                }
+            if let Some(rid) = region {
+                self.region_dyn[rid.index()] += cost;
+                self.region_touched[rid.index()] = true;
             }
         }
     }
@@ -357,8 +837,12 @@ impl<'a> Machine<'a> {
                 (h, 0)
             }
             MemBase::Heap(h) => {
-                let handle =
-                    self.last_alloc_of_site.get(&h.raw()).copied().ok_or_else(|| Trap {
+                let handle = self
+                    .last_alloc_of_site
+                    .get(h.index())
+                    .copied()
+                    .flatten()
+                    .ok_or_else(|| Trap {
                         kind: TrapKind::Memory(format!("heap site {h} has no allocation")),
                         at: self.dyn_insts,
                     })?;
@@ -399,13 +883,12 @@ impl<'a> Machine<'a> {
     fn maybe_inject(&mut self, v: Value) -> Value {
         let ordinal = self.eligible_seen;
         self.eligible_seen += 1;
-        let site = self.frames.last().map(|fr| (fr.func, fr.block));
         let Some(f) = &mut self.fault else { return v };
         if !f.injected && ordinal == f.plan.inject_at {
             f.injected = true;
             f.detect_at = Some(self.dyn_insts + f.plan.detect_latency);
             self.telemetry.injected = true;
-            self.telemetry.inject_site = site;
+            self.telemetry.inject_site = self.frames.last().map(|fr| (fr.func, fr.block));
             return v.flip_bit(f.plan.bit);
         }
         v
@@ -435,11 +918,13 @@ impl<'a> Machine<'a> {
         while let Some(frame) = self.frames.last() {
             if let Some(rec) = &frame.recovery {
                 let (region, block) = (rec.region, rec.recovery_block);
+                let ordinal = rec.act_ordinal;
                 let frame = self.frames.last_mut().expect("frame");
                 frame.block = block;
                 frame.ip = 0;
                 self.telemetry.rolled_back = true;
                 self.telemetry.rollback_region = Some(region);
+                self.splice.on_rollback(ordinal);
                 // The fault is consumed: re-execution is fault-free.
                 self.fault = None;
                 return Ok(());
@@ -468,10 +953,25 @@ impl<'a> Machine<'a> {
         }
     }
 
-    /// Executes one instruction or terminator.
+    /// Executes one instruction or terminator — or, on the hot path, a
+    /// *sprint* of them.
+    ///
+    /// Profiling/tracing runs take the general executor one item per
+    /// call (it has the footprint, trace and edge-count hooks). All
+    /// other runs split-borrow the machine's fields once and then
+    /// execute consecutive pre-lowered instructions and intra-function
+    /// jumps/branches in a tight loop, stopping — *without* executing
+    /// the next item — when `limit` is reached, when a pending fault
+    /// detection must fire, at an instruction that needs the general
+    /// executor, or at `Ret`. Per-item fuel, detection and `limit`
+    /// checks keep every observable state transition identical to the
+    /// one-item-per-call path, so snapshot capture points and fault
+    /// semantics are unchanged; `limit` exists so capturing callers get
+    /// control back at exact instruction-count boundaries (pass
+    /// `u64::MAX` otherwise).
     ///
     /// Returns `Ok(true)` while the program is still running.
-    fn step(&mut self) -> Result<bool, Trap> {
+    fn step(&mut self, limit: u64) -> Result<bool, Trap> {
         if self.dyn_insts >= self.fuel {
             return Err(Trap { kind: TrapKind::FuelExhausted, at: self.dyn_insts });
         }
@@ -482,28 +982,219 @@ impl<'a> Machine<'a> {
             return Ok(false);
         };
         let (func_id, block_id, ip) = (frame.func, frame.block, frame.ip);
-        let func = self.module.func(func_id);
-        let block = func.block(block_id);
+        // Copying the `&'c DecodedModule` reference out of `self` gives
+        // the instruction borrow a lifetime independent of `&mut self`,
+        // so execution borrows instead of cloning.
+        let code = self.code;
+        let dfunc = code.func(func_id);
 
-        if ip < block.insts.len() {
-            // Clone the instruction handle cheaply via pointer; Inst is
-            // small except Call args — clone is acceptable here.
-            let inst = block.insts[ip].clone();
-            self.charge(func_id, block_id, inst.cost(), inst.is_instrumentation());
-            self.frames.last_mut().expect("frame").ip += 1;
-            // A symptom trap here propagates to `run`, which treats it
-            // as detection (ReStore/Shoestring-style anomalous behavior)
-            // while a fault is live.
-            self.exec_inst(func_id, encore_ir::InstRef::new(block_id, ip), &inst)?;
-            Ok(true)
-        } else {
-            let term = block.term.clone().ok_or_else(|| Trap {
-                kind: TrapKind::Eval(format!("unterminated block {block_id}")),
-                at: self.dyn_insts,
-            })?;
-            self.charge(func_id, block_id, 1, false);
-            self.exec_term(func_id, block_id, &term)?;
-            Ok(!self.frames.is_empty())
+        if self.observing {
+            let block = dfunc.block(block_id);
+            return if (ip as u32) < block.len {
+                let di = &dfunc.steps[block.start as usize + ip];
+                self.charge(func_id, block.region, di.cost, di.instrumentation);
+                self.frames.last_mut().expect("frame").ip += 1;
+                // A symptom trap here propagates to `run_to_end`, which
+                // treats it as detection (ReStore/Shoestring-style
+                // anomalous behavior) while a fault is live.
+                self.exec_inst(func_id, di.at, di.inst)?;
+                Ok(true)
+            } else {
+                let term = block.term.ok_or_else(|| Trap {
+                    kind: TrapKind::Eval(format!("unterminated block {block_id}")),
+                    at: self.dyn_insts,
+                })?;
+                self.charge(func_id, block.region, 1, false);
+                self.exec_term(func_id, block_id, term)?;
+                Ok(!self.frames.is_empty())
+            };
+        }
+
+        /// Why the sprint handed control back without executing the
+        /// next item.
+        enum Stop {
+            /// `limit` reached or a detection is due: the caller's next
+            /// `step` resumes (or fires the detection) at this state.
+            Boundary,
+            /// The next instruction needs the general executor.
+            Slow,
+            /// The block ends in `Ret` (or is unterminated).
+            Term,
+        }
+        let stop = {
+            let fuel = self.fuel;
+            let region_accounting = self.region_accounting;
+            let Machine {
+                frames,
+                mem,
+                fault,
+                eligible_seen,
+                telemetry,
+                last_alloc_of_site,
+                dyn_insts,
+                instr_dyn,
+                region_dyn,
+                region_touched,
+                ckpt_high_water,
+                splice,
+                ..
+            } = self;
+            let frame = frames.last_mut().expect("frame");
+            let mut block = dfunc.block(frame.block);
+            let mut site = (func_id, frame.block);
+            // `ip` lives in a local and is written back at every sprint
+            // exit. A trap mid-sprint leaves it stale, which is
+            // unobservable: recovery overwrites (or pops) the frame's
+            // position, and terminal traps never read it.
+            let mut ip = frame.ip;
+            // One merged per-item pause bound: the caller's limit, the
+            // fuel budget, and — once a fault is injected — its
+            // detection due-time. The hit branch below disambiguates in
+            // the same priority order the one-item-per-call path checks
+            // them (limit, then fuel, then detection).
+            let mut bound = limit.min(fuel);
+            if let Some(f) = &*fault {
+                if f.injected && !f.detected {
+                    if let Some(d) = f.detect_at {
+                        bound = bound.min(d);
+                    }
+                }
+            }
+            loop {
+                if *dyn_insts >= bound {
+                    frame.ip = ip;
+                    if *dyn_insts >= limit {
+                        break Stop::Boundary;
+                    }
+                    if *dyn_insts >= fuel {
+                        return Err(Trap { kind: TrapKind::FuelExhausted, at: *dyn_insts });
+                    }
+                    // Detection is due: the caller's next `step` fires
+                    // it at this exact state.
+                    break Stop::Boundary;
+                }
+                if (ip as u32) < block.len {
+                    let di = &dfunc.steps[block.start as usize + ip];
+                    if matches!(di.op, MicroOp::Slow(_)) {
+                        frame.ip = ip;
+                        break Stop::Slow;
+                    }
+                    *dyn_insts += di.cost;
+                    if di.instrumentation {
+                        *instr_dyn += di.cost;
+                    }
+                    if region_accounting {
+                        if let Some(rid) = block.region {
+                            region_dyn[rid.index()] += di.cost;
+                            region_touched[rid.index()] = true;
+                        }
+                    }
+                    ip += 1;
+                    // A symptom trap here propagates to `run_to_end`,
+                    // which treats it as detection while a fault is
+                    // live.
+                    match exec_fast(
+                        &di.op,
+                        frame,
+                        mem,
+                        fault,
+                        eligible_seen,
+                        telemetry,
+                        last_alloc_of_site,
+                        ckpt_high_water,
+                        splice,
+                        site,
+                        *dyn_insts,
+                    ) {
+                        Ok(false) => {}
+                        Ok(true) => match &*fault {
+                            // The fault was injected just now: start
+                            // pausing at its detection due-time.
+                            Some(f) => {
+                                if let Some(d) = f.detect_at {
+                                    bound = bound.min(d);
+                                }
+                            }
+                            // No fault live: a `SetRecovery` realigned
+                            // a rolled-back run. Pause so the splice
+                            // driver can probe golden snapshots.
+                            None => {
+                                frame.ip = ip;
+                                break Stop::Boundary;
+                            }
+                        },
+                        Err(t) => {
+                            frame.ip = ip;
+                            return Err(t);
+                        }
+                    }
+                } else {
+                    match block.term {
+                        Some(Terminator::Jump(t)) => {
+                            *dyn_insts += 1;
+                            if region_accounting {
+                                if let Some(rid) = block.region {
+                                    region_dyn[rid.index()] += 1;
+                                    region_touched[rid.index()] = true;
+                                }
+                            }
+                            frame.block = *t;
+                            ip = 0;
+                            block = dfunc.block(*t);
+                            site = (func_id, *t);
+                        }
+                        Some(Terminator::Branch { cond, then_bb, else_bb }) => {
+                            *dyn_insts += 1;
+                            if region_accounting {
+                                if let Some(rid) = block.region {
+                                    region_dyn[rid.index()] += 1;
+                                    region_touched[rid.index()] = true;
+                                }
+                            }
+                            let target =
+                                if opnd(frame, cond).truthy() { *then_bb } else { *else_bb };
+                            frame.block = target;
+                            ip = 0;
+                            block = dfunc.block(target);
+                            site = (func_id, target);
+                        }
+                        // `Ret` pops a frame (and unterminated blocks
+                        // trap): both go through the general path.
+                        _ => {
+                            frame.ip = ip;
+                            break Stop::Term;
+                        }
+                    }
+                }
+            }
+        };
+
+        match stop {
+            Stop::Boundary => Ok(true),
+            Stop::Slow => {
+                let frame = self.frames.last().expect("frame");
+                let (block_id, ip) = (frame.block, frame.ip);
+                let block = dfunc.block(block_id);
+                let di = &dfunc.steps[block.start as usize + ip];
+                self.charge(func_id, block.region, di.cost, di.instrumentation);
+                self.frames.last_mut().expect("frame").ip += 1;
+                if let MicroOp::Slow(inst) = &di.op {
+                    self.exec_inst(func_id, di.at, inst)?;
+                }
+                Ok(true)
+            }
+            Stop::Term => {
+                let frame = self.frames.last().expect("frame");
+                let block_id = frame.block;
+                let block = dfunc.block(block_id);
+                let term = block.term.ok_or_else(|| Trap {
+                    kind: TrapKind::Eval(format!("unterminated block {block_id}")),
+                    at: self.dyn_insts,
+                })?;
+                self.charge(func_id, block.region, 1, false);
+                self.exec_term(func_id, block_id, term)?;
+                Ok(!self.frames.is_empty())
+            }
         }
     }
 
@@ -575,7 +1266,8 @@ impl<'a> Machine<'a> {
                     })?;
                 let handle = self.mem.alloc(ObjKind::Heap(self.heap_seq), n as usize);
                 self.heap_seq += 1;
-                self.last_alloc_of_site.insert(site.raw(), handle);
+                // Decode sized the table over every Alloc site.
+                self.last_alloc_of_site[site.index()] = Some(handle);
                 self.set_reg(*dst, Value::Ptr { obj: handle, idx: 0 });
             }
             Inst::Call { callee, dst, args } => {
@@ -605,11 +1297,14 @@ impl<'a> Machine<'a> {
                     kind: TrapKind::Eval(format!("{region} has no recovery block")),
                     at: self.dyn_insts,
                 })?;
+                let (ordinal, _) = self.splice.on_set_recovery(self.dyn_insts);
                 let frame = self.frames.last_mut().expect("frame");
                 frame.recovery = Some(RecoveryState {
                     region: *region,
                     recovery_block: rb,
                     log: Vec::new(),
+                    log_bytes: 0,
+                    act_ordinal: ordinal,
                 });
             }
             Inst::CheckpointMem { addr } => {
@@ -621,15 +1316,8 @@ impl<'a> Machine<'a> {
                 let frame = self.frames.last_mut().expect("frame");
                 if let Some(rec) = &mut frame.recovery {
                     rec.log.push(CkptEntry::Mem { obj, idx, val });
-                    let bytes = rec
-                        .log
-                        .iter()
-                        .map(|e| match e {
-                            CkptEntry::Mem { .. } => 16,
-                            CkptEntry::Reg { .. } => 8,
-                        })
-                        .sum();
-                    self.ckpt_high_water = self.ckpt_high_water.max(bytes);
+                    rec.log_bytes += 16;
+                    self.ckpt_high_water = self.ckpt_high_water.max(rec.log_bytes);
                 }
             }
             Inst::CheckpointReg { reg } => {
@@ -637,15 +1325,8 @@ impl<'a> Machine<'a> {
                 let val = frame.regs[reg.index()];
                 if let Some(rec) = &mut frame.recovery {
                     rec.log.push(CkptEntry::Reg { reg: *reg, val });
-                    let bytes = rec
-                        .log
-                        .iter()
-                        .map(|e| match e {
-                            CkptEntry::Mem { .. } => 16,
-                            CkptEntry::Reg { .. } => 8,
-                        })
-                        .sum();
-                    self.ckpt_high_water = self.ckpt_high_water.max(bytes);
+                    rec.log_bytes += 8;
+                    self.ckpt_high_water = self.ckpt_high_water.max(rec.log_bytes);
                 }
             }
             Inst::Restore { region } => {
@@ -657,6 +1338,7 @@ impl<'a> Machine<'a> {
                     });
                 };
                 let log = std::mem::take(&mut rec.log);
+                rec.log_bytes = 0;
                 for entry in log.into_iter().rev() {
                     match entry {
                         CkptEntry::Reg { reg, val } => {
@@ -718,33 +1400,179 @@ impl<'a> Machine<'a> {
         Ok(())
     }
 
-    fn run(mut self, _config: &RunConfig) -> RunResult {
-        let mut trap: Option<Trap> = None;
+    fn fault_live(&self) -> bool {
+        self.fault.as_ref().map(|f| f.injected && !f.detected).unwrap_or(false)
+    }
+
+    /// One [`Machine::step`] with symptom-based detection folded in: a
+    /// trap while an undetected fault is live (other than fuel
+    /// exhaustion) triggers the recovery path instead of terminating
+    /// the run. The shared stepping primitive of [`Machine::run_to_end`]
+    /// and the splice driver, so both have identical fault semantics.
+    fn step_detected(&mut self, limit: u64) -> Result<bool, Trap> {
+        match self.step(limit) {
+            Ok(alive) => Ok(alive),
+            Err(t) => {
+                if self.fault_live() && !matches!(t.kind, TrapKind::FuelExhausted) {
+                    self.trigger_recovery()?;
+                    return Ok(true);
+                }
+                Err(t)
+            }
+        }
+    }
+
+    /// Runs until completion or a terminal trap, returning the trap.
+    pub(crate) fn run_to_end(&mut self) -> Option<Trap> {
         loop {
-            match self.step() {
+            match self.step_detected(u64::MAX) {
                 Ok(true) => continue,
-                Ok(false) => break,
-                Err(t) => {
-                    // Symptom-based detection: a trap while an undetected
-                    // fault is live triggers the recovery path instead of
-                    // killing the run.
-                    let fault_live = self
-                        .fault
-                        .as_ref()
-                        .map(|f| f.injected && !f.detected)
-                        .unwrap_or(false);
-                    if fault_live && !matches!(t.kind, TrapKind::FuelExhausted) {
-                        match self.trigger_recovery() {
-                            Ok(()) => continue,
-                            Err(t2) => {
-                                trap = Some(t2);
-                                break;
-                            }
+                Ok(false) => return None,
+                Err(t) => return Some(t),
+            }
+        }
+    }
+
+    /// [`Machine::run_to_end`] for campaign injection runs, with the
+    /// convergence splice: after a rollback realigns the run against
+    /// the golden activation timeline, successive golden snapshots are
+    /// probed for architectural-state equality; a hit proves the
+    /// remaining execution is identical to the golden run's and ends
+    /// the run early. See [`SpliceTrack`] for why a hit is sound and a
+    /// miss merely falls back to plain execution.
+    pub(crate) fn run_to_end_or_splice(
+        &mut self,
+        snapshots: &SnapshotLog,
+        golden_final_dyn: u64,
+    ) -> SpliceRun {
+        /// Probe-index backoff cap: a truly corrupted run pays for a
+        /// handful of failed comparisons, then one compare per
+        /// `MAX_PROBE_GAP` snapshots for the rest of its suffix.
+        const MAX_PROBE_GAP: usize = 16;
+        self.splice.armed = true;
+        // Phase 1: run normally until a rollback's re-executed arming
+        // realigns the run (or the run just finishes).
+        let (realign_dyn, ordinal) = loop {
+            match self.step_detected(u64::MAX) {
+                Ok(true) => {
+                    if let Some(r) = self.splice.realign.take() {
+                        break r;
+                    }
+                }
+                Ok(false) => return SpliceRun::Done(None),
+                Err(t) => return SpliceRun::Done(Some(t)),
+            }
+        };
+        // `delta`: how many more dynamic instructions this run has
+        // retired than the golden run had at the same program point.
+        // Unmeasurable (ordinal past the golden log, or the golden run
+        // was ahead) means the timelines cannot be aligned: finish
+        // normally.
+        let Some(delta) = snapshots
+            .activation_dyn()
+            .get(ordinal as usize)
+            .and_then(|&golden_dyn| realign_dyn.checked_sub(golden_dyn))
+        else {
+            return SpliceRun::Done(self.run_to_end());
+        };
+        // Phase 2: execute on, pausing at each probed golden snapshot's
+        // realigned position (`snapshot dyn + delta`) to compare state.
+        let mut idx = snapshots.first_at_or_after_dyn(self.dyn_insts.saturating_sub(delta));
+        let mut gap = 1usize;
+        loop {
+            let Some(snap) = snapshots.get(idx) else {
+                // Past the last golden snapshot: finish normally.
+                return SpliceRun::Done(self.run_to_end());
+            };
+            let target = snap.dyn_insts + delta;
+            loop {
+                match self.step_detected(target) {
+                    Ok(true) => {
+                        if self.dyn_insts >= target {
+                            break;
                         }
                     }
-                    trap = Some(t);
-                    break;
+                    Ok(false) => return SpliceRun::Done(None),
+                    Err(t) => return SpliceRun::Done(Some(t)),
                 }
+            }
+            // The comparison is only meaningful when the pause landed
+            // exactly on the realigned position (instruction costs can
+            // overshoot a bound), no fault is pending, and the fuel
+            // headroom covers the golden suffix at this run's offset —
+            // otherwise the continuation could diverge by a fuel trap
+            // the golden run never hit.
+            if self.dyn_insts == target
+                && self.fault.is_none()
+                && golden_final_dyn.saturating_sub(snap.dyn_insts) + self.dyn_insts < self.fuel
+                && self.converged_with(snap)
+            {
+                return SpliceRun::Converged;
+            }
+            idx += gap;
+            gap = (gap * 2).min(MAX_PROBE_GAP);
+        }
+    }
+
+    /// Architectural-state equality against a golden snapshot — the
+    /// splice's convergence predicate, cheapest fields first so
+    /// diverged runs fail fast. Counters that influence neither the
+    /// remaining execution nor the campaign's outcome classification
+    /// (`dyn_insts`, `eligible_seen`, instrumentation/region
+    /// accounting, the checkpoint high-water mark) are deliberately
+    /// excluded; `dyn_insts` enters through the caller's fuel-headroom
+    /// check instead.
+    fn converged_with(&self, snap: &Snapshot) -> bool {
+        self.frame_seq == snap.frame_seq
+            && self.heap_seq == snap.heap_seq
+            && self.last_alloc_of_site == snap.last_alloc_of_site
+            && self.externs == snap.externs
+            && self.frames == snap.frames
+            && self.mem == snap.mem
+    }
+
+    /// Start recording the golden activation timeline (dyn count at
+    /// each `SetRecovery`, by ordinal).
+    fn enable_act_log(&mut self) {
+        self.splice.act_log = Some(Vec::new());
+    }
+
+    /// The recorded activation timeline.
+    fn take_act_log(&mut self) -> Vec<u64> {
+        self.splice.act_log.take().unwrap_or_default()
+    }
+
+    /// [`Machine::run_to_end`] for fault-free runs, capturing a
+    /// snapshot into `log` at the first step boundary past each
+    /// `stride`-instruction interval.
+    fn run_to_end_capturing(&mut self, stride: u64, log: &mut SnapshotLog) -> Option<Trap> {
+        debug_assert!(stride > 0 && self.fault.is_none());
+        let mut next_at = stride;
+        loop {
+            if self.dyn_insts >= next_at && !self.frames.is_empty() {
+                log.push(self.capture_snapshot());
+                next_at = self.dyn_insts + stride;
+            }
+            // Bounding the sprint by `next_at` keeps capture points at
+            // exact instruction-count boundaries.
+            match self.step(next_at) {
+                Ok(true) => continue,
+                Ok(false) => return None,
+                // No fault is live (asserted), so a trap is terminal.
+                Err(t) => return Some(t),
+            }
+        }
+    }
+
+    /// Consumes the machine into a [`RunResult`] after `run_to_end`
+    /// returned `trap`.
+    pub(crate) fn into_result(self, trap: Option<Trap>) -> RunResult {
+        let mut region_dyn = BTreeMap::new();
+        for (i, (&count, &touched)) in
+            self.region_dyn.iter().zip(self.region_touched.iter()).enumerate()
+        {
+            if touched {
+                region_dyn.insert(RegionId::new(i as u32), count);
             }
         }
         RunResult {
@@ -757,11 +1585,32 @@ impl<'a> Machine<'a> {
             globals: self.mem.globals_snapshot(),
             profile: self.profile,
             trace: self.trace,
-            region_dyn: self.region_dyn,
+            region_dyn,
             eligible_insts: self.eligible_seen,
             ckpt_high_water_bytes: self.ckpt_high_water,
             fault: self.telemetry,
         }
+    }
+
+    /// Entry call's return value (valid once `run_to_end` reported
+    /// completion).
+    pub(crate) fn final_ret(&self) -> Option<Value> {
+        self.final_ret
+    }
+
+    /// The observable output channel.
+    pub(crate) fn output(&self) -> &[i64] {
+        &self.externs.output
+    }
+
+    /// The memory state.
+    pub(crate) fn mem(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// Fault telemetry of this run.
+    pub(crate) fn telemetry(&self) -> &FaultTelemetry {
+        &self.telemetry
     }
 }
 

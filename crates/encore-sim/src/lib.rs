@@ -39,16 +39,23 @@ mod externs;
 mod interp;
 mod masking;
 mod memory;
+mod predecode;
 pub mod rng;
 mod sfi;
+mod snapshot;
 mod value;
 
 pub use externs::Externs;
-pub use interp::{run_function, FaultPlan, FaultTelemetry, RunConfig, RunResult, Trap, TrapKind};
+pub use interp::{
+    resume_function, run_function, run_function_with_snapshots, FaultPlan, FaultTelemetry,
+    RunConfig, RunResult, Trap, TrapKind,
+};
 pub use masking::{ComposedCoverage, MaskingModel};
 pub use memory::{MemError, MemObject, Memory};
+pub use predecode::DecodedModule;
 pub use sfi::{
-    CampaignReport, FaultOutcome, LatencyHistogram, SfiCampaign, SfiConfig, SfiStats,
-    LATENCY_BINS,
+    CampaignReport, FaultOutcome, GoldenRunError, LatencyHistogram, SfiCampaign, SfiConfig,
+    SfiStats, LATENCY_BINS,
 };
+pub use snapshot::{Snapshot, SnapshotLog};
 pub use value::{eval_bin, eval_un, EvalError, Value};

@@ -79,6 +79,7 @@ impl Memory {
     ///
     /// Out-of-bounds or negative indices and dangling handles produce a
     /// [`MemError`] (the simulator turns it into a detected symptom).
+    #[inline]
     pub fn read(&self, handle: usize, idx: i64) -> Result<Value, MemError> {
         let obj = self.objects.get(handle).ok_or_else(|| MemError {
             message: format!("read from dangling object handle {handle}"),
@@ -100,6 +101,7 @@ impl Memory {
     /// # Errors
     ///
     /// Same conditions as [`Memory::read`].
+    #[inline]
     pub fn write(&mut self, handle: usize, idx: i64, v: Value) -> Result<(), MemError> {
         let obj = self.objects.get_mut(handle).ok_or_else(|| MemError {
             message: format!("write to dangling object handle {handle}"),
@@ -134,6 +136,17 @@ impl Memory {
             .iter()
             .map(|o| o.cells.clone())
             .collect()
+    }
+
+    /// Compares the global objects against a previously taken
+    /// [`Memory::globals_snapshot`] without allocating — the hot
+    /// classification path of fault-injection campaigns.
+    pub fn globals_equal(&self, golden: &[Vec<Value>]) -> bool {
+        self.global_count == golden.len()
+            && self.objects[..self.global_count]
+                .iter()
+                .zip(golden)
+                .all(|(o, g)| o.cells == *g)
     }
 
     /// Total number of objects ever created.
@@ -196,6 +209,19 @@ mod tests {
         let snap = m.globals_snapshot();
         assert_eq!(snap.len(), 2);
         assert_eq!(snap[0][0], Value::Int(1));
+    }
+
+    #[test]
+    fn globals_equal_mirrors_snapshot() {
+        let mut m = mem();
+        let snap = m.globals_snapshot();
+        assert!(m.globals_equal(&snap));
+        m.write(1, 0, Value::Int(5)).unwrap();
+        assert!(!m.globals_equal(&snap));
+        m.write(1, 0, Value::ZERO).unwrap();
+        m.alloc(ObjKind::Heap(0), 4); // heap objects are not observable
+        assert!(m.globals_equal(&snap));
+        assert!(!m.globals_equal(&snap[..1]));
     }
 
     #[test]

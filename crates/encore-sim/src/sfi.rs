@@ -22,8 +22,13 @@
 //! let outcome = campaign.run_one(plan);
 //! ```
 
-use crate::interp::{run_function, FaultPlan, RunConfig, RunResult, TrapKind};
+use crate::interp::{
+    run_function_with_snapshots, FaultPlan, Machine, RunConfig, RunResult, SpliceRun, Trap,
+    TrapKind,
+};
+use crate::predecode::DecodedModule;
 use crate::rng::{Rng, SplitMix64};
+use crate::snapshot::SnapshotLog;
 use crate::value::Value;
 use encore_core::RegionMap;
 use encore_ir::{FuncId, Module};
@@ -107,11 +112,29 @@ pub struct SfiConfig {
     /// Worker threads for [`SfiCampaign::run`]; `0` (the default) uses
     /// [`std::thread::available_parallelism`].
     pub workers: usize,
+    /// Capture a golden-run checkpoint every `snapshot_stride` dynamic
+    /// instructions during [`SfiCampaign::prepare`]; each injection then
+    /// resumes from the nearest checkpoint at-or-before its injection
+    /// point instead of re-executing the fault-free prefix from scratch.
+    /// `0` disables snapshots (every injection runs from scratch).
+    /// Outcomes are bit-identical at every stride. The default (256) is
+    /// tuned for the workload suite's golden runs (~10⁴–10⁵ dynamic
+    /// instructions): dense enough that the replayed prefix is noise,
+    /// sparse enough that capture stays a small fraction of the golden
+    /// run.
+    pub snapshot_stride: u64,
 }
 
 impl Default for SfiConfig {
     fn default() -> Self {
-        Self { injections: 200, dmax: 100, seed: 0xE7_C04E, fuel_factor: 4, workers: 0 }
+        Self {
+            injections: 200,
+            dmax: 100,
+            seed: 0xE7_C04E,
+            fuel_factor: 4,
+            workers: 0,
+            snapshot_stride: 256,
+        }
     }
 }
 
@@ -330,44 +353,87 @@ impl CampaignReport {
     }
 }
 
+/// The golden (fault-free) run trapped, so there is no reference
+/// execution to inject faults against.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct GoldenRunError {
+    /// The trap that killed the golden run.
+    pub trap: Trap,
+}
+
+impl std::fmt::Display for GoldenRunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "golden run trapped before any fault was injected: {}", self.trap)
+    }
+}
+
+impl std::error::Error for GoldenRunError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.trap)
+    }
+}
+
 /// A reusable fault-injection campaign over one entry point.
+///
+/// [`SfiCampaign::prepare`] pre-decodes the module, runs the golden
+/// execution once and captures periodic [`Snapshot`](crate::Snapshot)s
+/// of it; every injection then resumes mid-trace instead of replaying
+/// the fault-free prefix, making a campaign of `N` injections over a
+/// trace of length `T` cost `O(N·(stride + suffix))` instead of
+/// `O(N·T)`.
 #[derive(Debug)]
 pub struct SfiCampaign<'a> {
     module: &'a Module,
     map: Option<&'a RegionMap>,
     entry: FuncId,
     args: Vec<Value>,
+    code: DecodedModule<'a>,
     golden: RunResult,
+    snapshots: SnapshotLog,
     fuel: u64,
 }
 
 impl<'a> SfiCampaign<'a> {
-    /// Prepares a campaign by running the golden execution.
+    /// Prepares a campaign: pre-decodes the module, runs the golden
+    /// execution and captures checkpoints every
+    /// [`SfiConfig::snapshot_stride`] dynamic instructions.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the golden run itself traps — the workload must be
-    /// fault-free before injecting faults into it.
-    pub fn new(
+    /// Returns [`GoldenRunError`] if the golden run itself traps — the
+    /// workload must be fault-free before injecting faults into it.
+    pub fn prepare(
         module: &'a Module,
         map: Option<&'a RegionMap>,
         entry: FuncId,
         args: &[Value],
         config: &SfiConfig,
-    ) -> Self {
-        let golden = run_function(module, map, entry, args, &RunConfig::default());
-        assert!(
-            golden.completed,
-            "golden run trapped: {:?}",
-            golden.trap
+    ) -> Result<Self, GoldenRunError> {
+        let code = DecodedModule::new(module, map);
+        let (golden, snapshots) = run_function_with_snapshots(
+            module,
+            map,
+            &code,
+            entry,
+            args,
+            &RunConfig::default(),
+            config.snapshot_stride,
         );
+        if let Some(trap) = golden.trap.clone() {
+            return Err(GoldenRunError { trap });
+        }
         let fuel = golden.dyn_insts.saturating_mul(config.fuel_factor).max(100_000);
-        Self { module, map, entry, args: args.to_vec(), golden, fuel }
+        Ok(Self { module, map, entry, args: args.to_vec(), code, golden, snapshots, fuel })
     }
 
     /// The golden run.
     pub fn golden(&self) -> &RunResult {
         &self.golden
+    }
+
+    /// The checkpoint log captured during the golden run.
+    pub fn snapshots(&self) -> &SnapshotLog {
+        &self.snapshots
     }
 
     /// The plan injection `index` of a campaign under `config` would
@@ -378,27 +444,80 @@ impl<'a> SfiCampaign<'a> {
         config.plan_for(index, self.golden.eligible_insts)
     }
 
-    /// Runs one injection described by `plan` and classifies it.
+    /// Runs one injection described by `plan` and classifies it,
+    /// resuming from the nearest golden checkpoint at-or-before the
+    /// injection point. A fault-free prefix is bit-identical to the
+    /// golden run, so restoring a snapshot with
+    /// `eligible_seen <= plan.inject_at` reproduces exactly the state a
+    /// from-scratch run would reach there; every counter a snapshot
+    /// carries is absolute, so fuel and detection-latency arithmetic
+    /// carry over unchanged.
     pub fn run_one(&self, plan: FaultPlan) -> FaultOutcome {
-        let config = RunConfig {
-            fuel: self.fuel,
-            fault: Some(plan),
-            ..Default::default()
-        };
-        let r = run_function(self.module, self.map, self.entry, &self.args, &config);
-        self.classify(&r)
+        self.run_one_traced(plan).0
     }
 
-    fn classify(&self, r: &RunResult) -> FaultOutcome {
-        if let Some(trap) = &r.trap {
+    /// [`SfiCampaign::run_one`] plus whether the run ended on a
+    /// convergence splice rather than by executing its full suffix
+    /// (exposed for tests asserting the splice actually engages).
+    fn run_one_traced(&self, plan: FaultPlan) -> (FaultOutcome, bool) {
+        let config = self.injection_config(plan);
+        let mut m = match self.snapshots.nearest_at_or_before(plan.inject_at) {
+            Some(snap) => {
+                Machine::from_snapshot(self.module, &self.code, self.map, snap, &config)
+            }
+            None => self.fresh_machine(&config),
+        };
+        if self.snapshots.is_empty() {
+            let trap = m.run_to_end();
+            return (self.classify_machine(&m, trap), false);
+        }
+        // With golden snapshots on hand, a rolled-back run that
+        // reconverges to the golden state can stop early: a state match
+        // proves the suffix would replay the golden run exactly, so the
+        // outcome is a certain `Recovered` (golden-equal final state
+        // after a rollback — precisely `classify_machine`'s Recovered
+        // arm, without simulating the suffix).
+        match m.run_to_end_or_splice(&self.snapshots, self.golden.dyn_insts) {
+            SpliceRun::Done(trap) => (self.classify_machine(&m, trap), false),
+            SpliceRun::Converged => (FaultOutcome::Recovered, true),
+        }
+    }
+
+    /// Runs one injection from dynamic instruction 0, ignoring the
+    /// snapshot log. Retained as the differential reference for
+    /// [`SfiCampaign::run_one`]: both paths must classify every plan
+    /// identically.
+    pub fn run_one_from_scratch(&self, plan: FaultPlan) -> FaultOutcome {
+        let config = self.injection_config(plan);
+        let mut m = self.fresh_machine(&config);
+        let trap = m.run_to_end();
+        self.classify_machine(&m, trap)
+    }
+
+    fn injection_config(&self, plan: FaultPlan) -> RunConfig {
+        RunConfig { fuel: self.fuel, fault: Some(plan), ..Default::default() }
+    }
+
+    fn fresh_machine(&self, config: &RunConfig) -> Machine<'a, '_> {
+        Machine::start(self.module, &self.code, self.map, self.entry, &self.args, config)
+    }
+
+    /// Classifies a finished machine against the golden run without
+    /// materializing a [`RunResult`]: return value, output channel and
+    /// global memory are compared by borrow, so the per-injection
+    /// classification path allocates nothing.
+    fn classify_machine(&self, m: &Machine<'_, '_>, trap: Option<Trap>) -> FaultOutcome {
+        if let Some(trap) = trap {
             return match trap.kind {
                 TrapKind::DetectedUnrecoverable => FaultOutcome::DetectedUnrecoverable,
                 TrapKind::FuelExhausted => FaultOutcome::Hung,
                 _ => FaultOutcome::Crashed,
             };
         }
-        let matches = r.observably_equal(&self.golden);
-        match (matches, r.fault.rolled_back) {
+        let matches = m.final_ret() == self.golden.ret
+            && m.output() == &self.golden.output[..]
+            && m.mem().globals_equal(&self.golden.globals);
+        match (matches, m.telemetry().rolled_back) {
             (true, true) => FaultOutcome::Recovered,
             (true, false) => FaultOutcome::Benign,
             (false, _) => FaultOutcome::SilentCorruption,
@@ -462,6 +581,7 @@ impl<'a> SfiCampaign<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::interp::run_function;
     use encore_analysis::Profile;
     use encore_core::{Encore, EncoreConfig};
     use encore_ir::{AddrExpr, BinOp, MemBase, ModuleBuilder, Operand};
@@ -509,9 +629,14 @@ mod tests {
     fn golden_run_is_reference() {
         let (m, map, fid) = protected_kernel();
         let campaign =
-            SfiCampaign::new(&m, Some(&map), fid, &[Value::Int(32)], &SfiConfig::default());
+            SfiCampaign::prepare(&m, Some(&map), fid, &[Value::Int(32)], &SfiConfig::default())
+                .expect("golden run completes");
         assert!(campaign.golden().completed);
         assert!(campaign.golden().eligible_insts > 0);
+        assert!(
+            !campaign.snapshots().is_empty()
+                || campaign.golden().dyn_insts < SfiConfig::default().snapshot_stride
+        );
     }
 
     #[test]
@@ -522,7 +647,8 @@ mod tests {
         // length.
         let (m, map, fid) = protected_kernel();
         let short = SfiConfig { injections: 120, dmax: 2, ..Default::default() };
-        let campaign = SfiCampaign::new(&m, Some(&map), fid, &[Value::Int(32)], &short);
+        let campaign = SfiCampaign::prepare(&m, Some(&map), fid, &[Value::Int(32)], &short)
+            .expect("golden run completes");
         let stats = campaign.run(&short);
         assert_eq!(stats.injections, 120);
         assert!(stats.recovered > 0, "no recoveries at all: {stats:?}");
@@ -554,7 +680,8 @@ mod tests {
         });
         let m = mb.finish();
         let config = SfiConfig { injections: 60, dmax: 10, ..Default::default() };
-        let campaign = SfiCampaign::new(&m, None, fid, &[Value::Int(8)], &config);
+        let campaign = SfiCampaign::prepare(&m, None, fid, &[Value::Int(8)], &config)
+            .expect("golden run completes");
         let stats = campaign.run(&config);
         assert_eq!(stats.recovered, 0, "nothing to roll back to: {stats:?}");
         // Faults either vanish (benign), corrupt state, or get detected
@@ -573,7 +700,8 @@ mod tests {
     fn campaigns_are_reproducible() {
         let (m, map, fid) = protected_kernel();
         let config = SfiConfig { injections: 40, seed: 42, ..Default::default() };
-        let campaign = SfiCampaign::new(&m, Some(&map), fid, &[Value::Int(32)], &config);
+        let campaign = SfiCampaign::prepare(&m, Some(&map), fid, &[Value::Int(32)], &config)
+            .expect("golden run completes");
         let a = campaign.run(&config);
         let b = campaign.run(&config);
         assert_eq!(a, b);
@@ -583,7 +711,8 @@ mod tests {
     fn worker_count_does_not_change_results() {
         let (m, map, fid) = protected_kernel();
         let base = SfiConfig { injections: 50, seed: 7, workers: 1, ..Default::default() };
-        let campaign = SfiCampaign::new(&m, Some(&map), fid, &[Value::Int(32)], &base);
+        let campaign = SfiCampaign::prepare(&m, Some(&map), fid, &[Value::Int(32)], &base)
+            .expect("golden run completes");
         let sequential = campaign.run_report(&base);
         for workers in [2, 3, 8, 64] {
             let parallel =
@@ -594,6 +723,39 @@ mod tests {
                 "histograms diverged at {workers} workers"
             );
         }
+    }
+
+    #[test]
+    fn convergence_splice_engages_and_preserves_outcomes() {
+        let (m, map, fid) = protected_kernel();
+        // A short stride gives the splice dense golden boundaries to
+        // probe; short latency makes most faults recover, the splice's
+        // target population.
+        let config = SfiConfig {
+            injections: 80,
+            dmax: 5,
+            snapshot_stride: 32,
+            ..Default::default()
+        };
+        let campaign = SfiCampaign::prepare(&m, Some(&map), fid, &[Value::Int(32)], &config)
+            .expect("golden run completes");
+        assert!(!campaign.snapshots().is_empty());
+        let space = campaign.golden().eligible_insts.max(1);
+        let mut spliced = 0;
+        for index in 0..config.injections as u64 {
+            let plan = config.plan_for(index, space);
+            let (fast, via_splice) = campaign.run_one_traced(plan);
+            assert_eq!(
+                fast,
+                campaign.run_one_from_scratch(plan),
+                "splice path diverged from scratch on {plan:?}"
+            );
+            if via_splice {
+                assert_eq!(fast, FaultOutcome::Recovered);
+                spliced += 1;
+            }
+        }
+        assert!(spliced > 0, "convergence splice never engaged");
     }
 
     #[test]
@@ -613,7 +775,8 @@ mod tests {
     fn report_histograms_account_for_every_injection() {
         let (m, map, fid) = protected_kernel();
         let config = SfiConfig { injections: 30, dmax: 9, ..Default::default() };
-        let campaign = SfiCampaign::new(&m, Some(&map), fid, &[Value::Int(32)], &config);
+        let campaign = SfiCampaign::prepare(&m, Some(&map), fid, &[Value::Int(32)], &config)
+            .expect("golden run completes");
         let report = campaign.run_report(&config);
         assert_eq!(report.stats.injections, 30);
         let hist_total: u64 =
@@ -650,11 +813,13 @@ mod tests {
     fn deterministic_single_injection() {
         let (m, map, fid) = protected_kernel();
         let campaign =
-            SfiCampaign::new(&m, Some(&map), fid, &[Value::Int(32)], &SfiConfig::default());
+            SfiCampaign::prepare(&m, Some(&map), fid, &[Value::Int(32)], &SfiConfig::default())
+                .expect("golden run completes");
         let plan = FaultPlan { inject_at: 10, bit: 5, detect_latency: 3 };
         let a = campaign.run_one(plan);
         let b = campaign.run_one(plan);
         assert_eq!(a, b);
+        assert_eq!(a, campaign.run_one_from_scratch(plan));
     }
 
     #[test]
@@ -663,11 +828,44 @@ mod tests {
         // the plan the full campaign used.
         let (m, map, fid) = protected_kernel();
         let config = SfiConfig { injections: 10, seed: 0xD00D, ..Default::default() };
-        let campaign = SfiCampaign::new(&m, Some(&map), fid, &[Value::Int(32)], &config);
+        let campaign = SfiCampaign::prepare(&m, Some(&map), fid, &[Value::Int(32)], &config)
+            .expect("golden run completes");
         for index in 0..10 {
             let plan = campaign.plan_for_index(&config, index);
             assert_eq!(plan, config.plan_for(index, campaign.golden().eligible_insts));
             let _ = campaign.run_one(plan);
+        }
+    }
+
+    #[test]
+    fn prepare_rejects_trapping_golden_run() {
+        let mut mb = ModuleBuilder::new("m");
+        let g = mb.global("g", 1);
+        let fid = mb.function("f", 0, |f| {
+            f.store(AddrExpr::global(g, 9), Operand::ImmI(1)); // out of bounds
+            f.ret(None);
+        });
+        let m = mb.finish();
+        let err = SfiCampaign::prepare(&m, None, fid, &[], &SfiConfig::default())
+            .expect_err("trapping golden run must be reported");
+        assert!(matches!(err.trap.kind, TrapKind::Memory(_)));
+        assert!(err.to_string().contains("golden run trapped"));
+    }
+
+    #[test]
+    fn snapshot_resume_matches_from_scratch_per_plan() {
+        let (m, map, fid) = protected_kernel();
+        let config = SfiConfig { injections: 60, snapshot_stride: 16, ..Default::default() };
+        let campaign = SfiCampaign::prepare(&m, Some(&map), fid, &[Value::Int(32)], &config)
+            .expect("golden run completes");
+        assert!(!campaign.snapshots().is_empty(), "stride 16 must capture snapshots");
+        for index in 0..config.injections as u64 {
+            let plan = campaign.plan_for_index(&config, index);
+            assert_eq!(
+                campaign.run_one(plan),
+                campaign.run_one_from_scratch(plan),
+                "snapshot resume diverged from scratch for {plan:?}"
+            );
         }
     }
 }

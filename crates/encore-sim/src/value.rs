@@ -25,6 +25,7 @@ impl Value {
     pub const ZERO: Value = Value::Int(0);
 
     /// Is this value "truthy" for branches? (nonzero / non-null).
+    #[inline]
     pub fn truthy(&self) -> bool {
         match self {
             Value::Int(v) => *v != 0,
@@ -107,6 +108,7 @@ fn type_err(op: &str, a: &Value, b: Option<&Value>) -> EvalError {
 ///
 /// Returns [`EvalError`] on operand-type mismatches the machine cannot
 /// interpret (e.g. float `Add`, pointer `Mul`).
+#[inline]
 pub fn eval_bin(op: BinOp, a: Value, b: Value) -> Result<Value, EvalError> {
     use BinOp::*;
     use Value::*;
@@ -161,6 +163,7 @@ pub fn eval_bin(op: BinOp, a: Value, b: Value) -> Result<Value, EvalError> {
 /// # Errors
 ///
 /// Returns [`EvalError`] on operand-type mismatches.
+#[inline]
 pub fn eval_un(op: UnOp, a: Value) -> Result<Value, EvalError> {
     use UnOp::*;
     use Value::*;

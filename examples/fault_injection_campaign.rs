@@ -44,17 +44,19 @@ fn main() {
 
     // Unprotected baseline campaign.
     let base_campaign =
-        SfiCampaign::new(&w.module, None, w.entry, &[Value::Int(w.eval_arg)], &sfi);
+        SfiCampaign::prepare(&w.module, None, w.entry, &[Value::Int(w.eval_arg)], &sfi)
+            .expect("golden run completes");
     let base = base_campaign.run(&sfi);
 
     // Protected campaign, with the full per-outcome latency report.
-    let prot_campaign = SfiCampaign::new(
+    let prot_campaign = SfiCampaign::prepare(
         &outcome.instrumented.module,
         Some(&outcome.instrumented.map),
         w.entry,
         &[Value::Int(w.eval_arg)],
         &sfi,
-    );
+    )
+    .expect("golden run completes");
     let report = prot_campaign.run_report(&sfi);
     let prot = report.stats;
 

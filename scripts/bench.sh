@@ -1,18 +1,24 @@
 #!/usr/bin/env bash
-# Runs the analysis benchmark suite offline and records machine-readable
-# results in BENCH_analysis.json at the repo root (one JSON object per
-# suite, appended by the in-repo microbench harness via the
-# ENCORE_BENCH_JSON environment variable).
+# Runs the benchmark suites offline and records machine-readable results
+# at the repo root (one JSON object per suite run, appended by the
+# in-repo microbench harness via the ENCORE_BENCH_JSON environment
+# variable): the analysis suite into BENCH_analysis.json and the
+# simulator/SFI-campaign suite into BENCH_sim.json. Set
+# ENCORE_BENCH_LABEL to tag the emitted rows (e.g. "baseline" vs
+# "post-change" when comparing in one file).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="BENCH_analysis.json"
-rm -f "$out"
-
-# Absolute path: cargo runs bench binaries with cwd = the package root,
+# Absolute paths: cargo runs bench binaries with cwd = the package root,
 # so a relative path would land inside crates/encore-bench/.
-echo "==> cargo bench -p encore-bench --bench analysis --offline"
-ENCORE_BENCH_JSON="$PWD/$out" cargo bench -p encore-bench --bench analysis --offline
+run_suite() {
+    local bench="$1" out="$2"
+    rm -f "$out"
+    echo "==> cargo bench -p encore-bench --bench $bench --offline"
+    ENCORE_BENCH_JSON="$PWD/$out" cargo bench -p encore-bench --bench "$bench" --offline
+    echo "==> wrote $out"
+}
 
-echo "==> wrote $out"
+run_suite analysis BENCH_analysis.json
+run_suite sim BENCH_sim.json

@@ -18,4 +18,12 @@ cargo test -q --offline --workspace
 echo "==> cargo clippy --offline -- -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
+# Fixed-seed campaign smoke: exercises the snapshot-and-resume +
+# convergence-splice injection path end-to-end on a real workload. The
+# run is deterministic (seeded, single-worker-equivalent results at any
+# worker count), so a hang or panic here means the campaign engine
+# regressed even if unit tests pass.
+echo "==> SFI campaign smoke (fixed seed)"
+cargo run --release --offline --example fault_injection_campaign -- rawcaudio 24 50 0 12345
+
 echo "==> OK"

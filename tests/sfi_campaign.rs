@@ -1,18 +1,30 @@
 //! Determinism guarantees of the parallel fault-injection engine,
-//! checked end-to-end on a real instrumented workload:
+//! checked end-to-end on real instrumented workloads and hand-built
+//! kernels:
 //!
 //! * the same seed yields bit-identical results at **any** worker
-//!   count (sharding is a pure load-balancing choice), and
+//!   count (sharding is a pure load-balancing choice);
+//! * the snapshot stride is a pure performance knob: campaigns resumed
+//!   from golden-run checkpoints are bit-identical to campaigns run
+//!   from scratch, at every stride;
 //! * any single injection can be replayed in isolation from its
 //!   `(seed, index)` pair — the whole campaign is just the sum of its
-//!   independently derivable members.
+//!   independently derivable members;
+//! * every [`FaultOutcome`] variant is reachable, and the snapshot and
+//!   from-scratch paths agree on each of them.
 
-use encore::core::{Encore, EncoreConfig};
-use encore::sim::{run_function, CampaignReport, RunConfig, SfiCampaign, SfiConfig, Value};
+use encore::core::{Encore, EncoreConfig, RegionInfo, RegionMap};
+use encore::sim::{
+    run_function, CampaignReport, FaultOutcome, FaultPlan, RunConfig, SfiCampaign, SfiConfig,
+    Value,
+};
+use encore_ir::{
+    AddrExpr, BinOp, BlockId, FuncId, Inst, MemBase, ModuleBuilder, Operand, RegionId,
+};
 
 /// Profiles and instruments `name`, returning the protected module and
 /// its region map (owned, so tests can borrow them into a campaign).
-fn instrument(name: &str) -> (encore_ir::Module, encore::core::RegionMap, encore_ir::FuncId, i64) {
+fn instrument(name: &str) -> (encore_ir::Module, RegionMap, FuncId, i64) {
     let w = encore::workloads::by_name(name).expect("known workload");
     let train = run_function(
         &w.module,
@@ -41,7 +53,8 @@ fn results(r: &CampaignReport) -> (encore::sim::SfiStats, &[encore::sim::Latency
 fn parallel_campaign_is_bit_identical_to_sequential() {
     let (module, map, entry, arg) = instrument("rawcaudio");
     let base = config(96, 1);
-    let campaign = SfiCampaign::new(&module, Some(&map), entry, &[Value::Int(arg)], &base);
+    let campaign = SfiCampaign::prepare(&module, Some(&map), entry, &[Value::Int(arg)], &base)
+        .expect("golden run completes");
     let sequential = campaign.run_report(&base);
     assert_eq!(sequential.stats.injections, 96);
 
@@ -59,7 +72,8 @@ fn parallel_campaign_is_bit_identical_to_sequential() {
 fn same_seed_twice_is_bit_identical() {
     let (module, map, entry, arg) = instrument("rawcaudio");
     let cfg = config(96, 4);
-    let campaign = SfiCampaign::new(&module, Some(&map), entry, &[Value::Int(arg)], &cfg);
+    let campaign = SfiCampaign::prepare(&module, Some(&map), entry, &[Value::Int(arg)], &cfg)
+        .expect("golden run completes");
     let first = campaign.run_report(&cfg);
     let second = campaign.run_report(&cfg);
     assert_eq!(first, second);
@@ -70,7 +84,8 @@ fn different_seeds_draw_different_plans() {
     let (module, map, entry, arg) = instrument("rawcaudio");
     let a = config(96, 1);
     let b = SfiConfig { seed: a.seed ^ 1, ..a };
-    let campaign = SfiCampaign::new(&module, Some(&map), entry, &[Value::Int(arg)], &a);
+    let campaign = SfiCampaign::prepare(&module, Some(&map), entry, &[Value::Int(arg)], &a)
+        .expect("golden run completes");
     assert!(
         (0..16).any(|i| campaign.plan_for_index(&a, i) != campaign.plan_for_index(&b, i)),
         "independent seeds produced identical plans for the first 16 injections"
@@ -84,7 +99,8 @@ fn different_seeds_draw_different_plans() {
 fn replaying_each_index_reconstructs_the_parallel_report() {
     let (module, map, entry, arg) = instrument("rawcaudio");
     let cfg = config(48, 8);
-    let campaign = SfiCampaign::new(&module, Some(&map), entry, &[Value::Int(arg)], &cfg);
+    let campaign = SfiCampaign::prepare(&module, Some(&map), entry, &[Value::Int(arg)], &cfg)
+        .expect("golden run completes");
     let parallel = campaign.run_report(&cfg);
 
     let mut replayed = CampaignReport::new(cfg);
@@ -93,4 +109,243 @@ fn replaying_each_index_reconstructs_the_parallel_report() {
         replayed.record(plan, campaign.run_one(plan));
     }
     assert_eq!(parallel, replayed);
+}
+
+/// The snapshot stride is a pure performance knob: disabled (0),
+/// every-instruction (1), coarse (64) and effectively-unreachable
+/// (`u64::MAX`) strides all produce bit-identical campaign reports on
+/// three instrumented workloads.
+#[test]
+fn snapshot_stride_never_changes_campaign_reports() {
+    for name in ["rawcaudio", "rawdaudio", "g721encode"] {
+        let (module, map, entry, _) = instrument(name);
+        // A small eval input keeps the stride-1 log (one checkpoint per
+        // dynamic instruction) affordable.
+        let args = [Value::Int(48)];
+        let reference_cfg = SfiConfig {
+            injections: 48,
+            dmax: 64,
+            seed: 0xBEEF,
+            workers: 2,
+            snapshot_stride: 0,
+            ..Default::default()
+        };
+        let reference =
+            SfiCampaign::prepare(&module, Some(&map), entry, &args, &reference_cfg)
+                .expect("golden run completes")
+                .run_report(&reference_cfg);
+
+        for stride in [1, 64, u64::MAX] {
+            let cfg = SfiConfig { snapshot_stride: stride, ..reference_cfg };
+            let campaign = SfiCampaign::prepare(&module, Some(&map), entry, &args, &cfg)
+                .expect("golden run completes");
+            if stride == 1 {
+                assert!(
+                    !campaign.snapshots().is_empty(),
+                    "{name}: stride 1 must capture checkpoints"
+                );
+            }
+            let mut report = campaign.run_report(&cfg);
+            // The config is embedded in the report; the stride is the
+            // one field allowed to differ.
+            report.config.snapshot_stride = reference_cfg.snapshot_stride;
+            assert_eq!(reference, report, "{name}: stride {stride} changed the report");
+        }
+    }
+}
+
+/// Builds a RegionMap with one entry per (func, header, recovery block).
+fn map_of(entries: &[(FuncId, BlockId, BlockId)]) -> RegionMap {
+    let mut map = RegionMap::default();
+    for (i, (func, header, rb)) in entries.iter().enumerate() {
+        map.regions.push(RegionInfo {
+            id: RegionId::new(i as u32),
+            func: *func,
+            header: *header,
+            blocks: vec![*header],
+            recovery_block: Some(*rb),
+            protected: true,
+            idempotent: false,
+            mem_ckpts: 0,
+            reg_ckpts: 0,
+            avg_activation_len: 0.0,
+            exec_fraction: 0.0,
+        });
+    }
+    map
+}
+
+/// Runs one injection per eligible site (up to `max_sites`) through BOTH
+/// the snapshot-resume path and the retained from-scratch path, asserts
+/// they classify every plan identically, and returns the outcomes.
+fn sweep_outcomes(
+    campaign: &SfiCampaign<'_>,
+    bit: u8,
+    detect_latency: u64,
+    max_sites: u64,
+) -> Vec<FaultOutcome> {
+    (0..campaign.golden().eligible_insts.min(max_sites))
+        .map(|inject_at| {
+            let plan = FaultPlan { inject_at, bit, detect_latency };
+            let outcome = campaign.run_one(plan);
+            assert_eq!(
+                outcome,
+                campaign.run_one_from_scratch(plan),
+                "snapshot resume diverged from scratch for {plan:?}"
+            );
+            outcome
+        })
+        .collect()
+}
+
+/// Hand-built kernels drive each [`FaultOutcome`] variant at least once,
+/// with the snapshot and from-scratch paths agreeing on all of them
+/// (via [`sweep_outcomes`]).
+#[test]
+fn every_fault_outcome_variant_is_exercised() {
+    // Dense checkpointing so even these short kernels resume mid-trace.
+    let cfg = SfiConfig { snapshot_stride: 8, ..Default::default() };
+
+    // Benign / SilentCorruption / DetectedUnrecoverable: straight-line
+    // unprotected code with one architecturally dead load.
+    let mut mb = ModuleBuilder::new("straight");
+    let g = mb.global_init("g", 2, vec![5, 0]);
+    let fid = mb.function("f", 0, |f| {
+        let _dead = f.load(AddrExpr::global(g, 0));
+        let a = f.load(AddrExpr::global(g, 0));
+        f.store(AddrExpr::global(g, 1), a.into());
+        let v = f.load(AddrExpr::global(g, 0));
+        let v2 = f.bin(BinOp::Mul, v.into(), Operand::ImmI(2));
+        f.store(AddrExpr::global(g, 0), v2.into());
+        f.ret(Some(v2.into()));
+    });
+    let m = mb.finish();
+    let campaign =
+        SfiCampaign::prepare(&m, None, fid, &[], &cfg).expect("golden run completes");
+    // Latency long enough that the run completes before detection: the
+    // fault either lands in the dead load (benign) or corrupts state.
+    let quiet = sweep_outcomes(&campaign, 3, 1000, 64);
+    assert!(quiet.contains(&FaultOutcome::Benign), "no benign outcome: {quiet:?}");
+    assert!(
+        quiet.contains(&FaultOutcome::SilentCorruption),
+        "no silent corruption: {quiet:?}"
+    );
+    // Immediate detection with no armed region is unrecoverable.
+    let detected = sweep_outcomes(&campaign, 0, 0, 64);
+    assert!(
+        detected.contains(&FaultOutcome::DetectedUnrecoverable),
+        "no detected-unrecoverable outcome: {detected:?}"
+    );
+
+    // Recovered: the checkpointed WAR loop `g[0] += 10` with immediate
+    // detection — rollback restores the entry state and re-execution
+    // converges on the golden result.
+    let mut mb = ModuleBuilder::new("war");
+    let g = mb.global("g", 2);
+    let fid = mb.function("f", 0, |f| {
+        let hdr = f.add_block();
+        let recovery = f.add_block();
+        let exit = f.add_block();
+        let i = f.mov(Operand::ImmI(0));
+        f.jump(hdr);
+        f.switch_to(hdr);
+        f.emit(Inst::SetRecovery { region: RegionId::new(0) });
+        f.emit(Inst::CheckpointReg { reg: i });
+        f.emit(Inst::CheckpointMem { addr: AddrExpr::global(g, 0) });
+        let cur = f.load(AddrExpr::global(g, 0));
+        let next = f.bin(BinOp::Add, cur.into(), Operand::ImmI(10));
+        f.store(AddrExpr::global(g, 0), next.into());
+        f.bin_to(i, BinOp::Add, i.into(), Operand::ImmI(1));
+        let more = f.bin(BinOp::Lt, i.into(), Operand::ImmI(4));
+        f.branch(more.into(), hdr, exit);
+        f.switch_to(recovery);
+        f.emit(Inst::Restore { region: RegionId::new(0) });
+        f.jump(hdr);
+        f.switch_to(exit);
+        let out = f.load(AddrExpr::global(g, 0));
+        f.ret(Some(out.into()));
+    });
+    let m = mb.finish();
+    let map = map_of(&[(fid, BlockId::new(1), BlockId::new(2))]);
+    let campaign =
+        SfiCampaign::prepare(&m, Some(&map), fid, &[], &cfg).expect("golden run completes");
+    let recovered = sweep_outcomes(&campaign, 1, 0, 64);
+    assert!(
+        recovered.contains(&FaultOutcome::Recovered),
+        "no recovered outcome: {recovered:?}"
+    );
+
+    // Hung: flipping the sign bit of the loop counter in a pure-compute
+    // loop makes it run until the fuel budget trips, provided the
+    // detection latency is far beyond the budget.
+    let mut mb = ModuleBuilder::new("spin");
+    let g = mb.global("g", 1);
+    let fid = mb.function("f", 1, |f| {
+        let n = f.param(0);
+        let acc = f.mov(Operand::ImmI(0));
+        f.for_range(Operand::ImmI(0), n.into(), |f, i| {
+            let s = f.bin(BinOp::Add, acc.into(), i.into());
+            f.mov_to(acc, s.into());
+        });
+        f.store(AddrExpr::global(g, 0), acc.into());
+        f.ret(Some(acc.into()));
+    });
+    let m = mb.finish();
+    let campaign = SfiCampaign::prepare(&m, None, fid, &[Value::Int(32)], &cfg)
+        .expect("golden run completes");
+    let hung = sweep_outcomes(&campaign, 63, 1 << 40, 16);
+    assert!(hung.contains(&FaultOutcome::Hung), "no hung outcome: {hung:?}");
+
+    // Crashed: the fault escapes the region through an uncheckpointed
+    // global before the symptom trap; rollback consumes the fault, then
+    // the recovery path indexes with the corrupted value and dies.
+    let mut mb = ModuleBuilder::new("crash");
+    let src = mb.global_init("src", 1, vec![3]);
+    let bounce = mb.global("bounce", 1);
+    let data = mb.global_init("data", 8, (0..8).collect());
+    let out = mb.global("out", 1);
+    let fid = mb.function("f", 0, |f| {
+        let hdr = f.add_block();
+        let recovery = f.add_block();
+        let exit = f.add_block();
+        f.jump(hdr);
+        f.switch_to(hdr);
+        f.emit(Inst::SetRecovery { region: RegionId::new(0) });
+        let a = f.load(AddrExpr::global(src, 0));
+        f.store(AddrExpr::global(bounce, 0), a.into());
+        let b = f.load(AddrExpr::indexed(MemBase::Global(data), a, 1, 0));
+        f.store(AddrExpr::global(out, 0), b.into());
+        f.jump(exit);
+        f.switch_to(recovery);
+        f.emit(Inst::Restore { region: RegionId::new(0) });
+        let c = f.load(AddrExpr::global(bounce, 0));
+        let d = f.load(AddrExpr::indexed(MemBase::Global(data), c, 1, 0));
+        f.store(AddrExpr::global(out, 0), d.into());
+        f.jump(exit);
+        f.switch_to(exit);
+        let v = f.load(AddrExpr::global(out, 0));
+        f.ret(Some(v.into()));
+    });
+    let m = mb.finish();
+    let map = map_of(&[(fid, BlockId::new(1), BlockId::new(2))]);
+    let campaign =
+        SfiCampaign::prepare(&m, Some(&map), fid, &[], &cfg).expect("golden run completes");
+    let crashed = sweep_outcomes(&campaign, 40, 50, 64);
+    assert!(crashed.contains(&FaultOutcome::Crashed), "no crashed outcome: {crashed:?}");
+}
+
+/// A workload whose golden run traps cannot host a campaign; `prepare`
+/// reports it as a typed error instead of panicking.
+#[test]
+fn prepare_surfaces_trapping_golden_run_as_error() {
+    let mut mb = ModuleBuilder::new("bad");
+    let g = mb.global("g", 1);
+    let fid = mb.function("f", 0, |f| {
+        f.store(AddrExpr::global(g, 7), Operand::ImmI(1)); // out of bounds
+        f.ret(None);
+    });
+    let m = mb.finish();
+    let err = SfiCampaign::prepare(&m, None, fid, &[], &SfiConfig::default())
+        .expect_err("trapping golden run must be an error");
+    assert!(err.to_string().contains("golden run trapped"), "unhelpful error: {err}");
 }
