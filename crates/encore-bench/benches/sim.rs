@@ -6,7 +6,11 @@
 //! * `golden_run` — one fault-free instrumented execution (the
 //!   pre-decoded interpreter's raw speed);
 //! * `campaign_40` — a 40-injection campaign on the default
-//!   snapshot-and-resume path (what `encore sfi` runs);
+//!   snapshot-and-resume path with divergence splicing (what
+//!   `encore sfi` runs);
+//! * `campaign_40_nosplice` — the same campaign with splicing disabled,
+//!   isolating what early classification of suffix-bound runs buys on
+//!   top of checkpoint resume;
 //! * `campaign_40_scratch` — the same campaign with snapshotting
 //!   disabled (`snapshot_stride: 0`), isolating how much of the
 //!   campaign speedup comes from checkpoint reuse vs. the interpreter
@@ -14,7 +18,8 @@
 //!
 //! Campaign rows also print injections/sec derived from the fastest
 //! iteration (min-of-N, the least noise-contaminated figure on a
-//! shared machine). Run with `cargo bench --bench sim --offline`.
+//! shared machine) and the splice engagement rate of the default
+//! configuration. Run with `cargo bench --bench sim --offline`.
 
 use encore_bench::microbench::Microbench;
 use encore_bench::prepare;
@@ -26,6 +31,7 @@ const INJECTIONS: usize = 40;
 fn main() {
     let mut bench = Microbench::new("sim");
     let mut throughput: Vec<(String, f64)> = Vec::new();
+    let mut splice_rates: Vec<(&str, usize, usize, usize, usize, u64)> = Vec::new();
     for name in ["rawdaudio", "g721encode"] {
         let prepared = prepare(encore_workloads::by_name(name).expect("workload"));
         let outcome = Encore::new(EncoreConfig::default())
@@ -47,6 +53,23 @@ fn main() {
             format!("campaign_{INJECTIONS}/{name}"),
             INJECTIONS as f64 / (s.min_ns / 1e9),
         ));
+        let sp = campaign.run_report(&snap).splice;
+        splice_rates.push((
+            name,
+            sp.total(),
+            sp.converged,
+            sp.dead_diff,
+            sp.sdc,
+            sp.dyn_insts_saved,
+        ));
+
+        let nosplice = SfiConfig { splice: false, ..snap };
+        let s = bench
+            .bench(&format!("campaign_{INJECTIONS}_nosplice/{name}"), || campaign.run(&nosplice));
+        throughput.push((
+            format!("campaign_{INJECTIONS}_nosplice/{name}"),
+            INJECTIONS as f64 / (s.min_ns / 1e9),
+        ));
 
         let scratch = SfiConfig { snapshot_stride: 0, ..snap };
         let campaign = SfiCampaign::prepare(module, map, entry, &args, &scratch)
@@ -64,5 +87,13 @@ fn main() {
     println!("campaign throughput (injections/sec, from min-of-N):");
     for (label, per_sec) in throughput {
         println!("  {label:<36} {per_sec:>10.0}/s");
+    }
+
+    println!("splice engagement of campaign_{INJECTIONS} (default config):");
+    for (name, total, converged, dead_diff, sdc, saved) in splice_rates {
+        println!(
+            "  {name:<14} {total}/{INJECTIONS} spliced (converged {converged}, \
+             dead-diff {dead_diff}, sdc {sdc}); {saved} suffix insts skipped"
+        );
     }
 }

@@ -13,7 +13,7 @@
 //! Usage: `ablations [--workloads a,b,c] [--sfi N]`
 
 use encore_bench::report::{banner, pct, Table};
-use encore_bench::{encore_run, prepare, selected_workloads, PreparedWorkload};
+use encore_bench::{encore_run, prepare, selected_workloads};
 use encore_core::EncoreConfig;
 use encore_sim::{SfiCampaign, SfiConfig, Value};
 
@@ -28,26 +28,6 @@ fn sfi_n() -> usize {
         .unwrap_or(150)
 }
 
-/// Runs one configuration and returns
-/// `(protected exec fraction, measured overhead, SFI safe fraction)`.
-fn evaluate(prepared: &PreparedWorkload, config: &EncoreConfig, injections: usize) -> (f64, f64, f64) {
-    let run = encore_run(prepared, config);
-    let sfi = SfiConfig { injections, dmax: config.dmax, ..Default::default() };
-    let campaign = SfiCampaign::prepare(
-        &run.outcome.instrumented.module,
-        Some(&run.outcome.instrumented.map),
-        prepared.workload.entry,
-        &[Value::Int(prepared.workload.eval_arg)],
-        &sfi,
-    )
-    .expect("golden run completes");
-    let stats = campaign.run(&sfi);
-    (
-        run.outcome.breakdown.protected_fraction(),
-        run.measured_overhead,
-        stats.safe_fraction(),
-    )
-}
 
 fn main() {
     banner("Ablation study (SFI-measured)");
@@ -78,14 +58,37 @@ fn main() {
     for w in workloads {
         let name = w.name;
         let prepared = prepare(w);
+        // Run every ablated pipeline up front, then share one campaign
+        // preparation (golden run + checkpoint log + suffix summaries)
+        // across configurations whose instrumentation came out
+        // identical — several ablations are no-ops on some workloads.
+        let runs: Vec<_> =
+            configs.iter().map(|(label, config)| (label, config, encore_run(&prepared, config))).collect();
+        let mut cached: Option<(usize, SfiCampaign)> = None;
         let mut baseline_safe = None;
-        for (label, config) in &configs {
-            let (prot, ovh, safe) = evaluate(&prepared, config, injections);
+        for (i, (label, config, run)) in runs.iter().enumerate() {
+            let sfi = SfiConfig { injections, dmax: config.dmax, ..Default::default() };
+            let reusable = cached.as_ref().is_some_and(|&(j, _)| {
+                runs[j].2.outcome.instrumented.module == run.outcome.instrumented.module
+                    && runs[j].2.outcome.instrumented.map == run.outcome.instrumented.map
+            });
+            if !reusable {
+                let campaign = SfiCampaign::prepare(
+                    &run.outcome.instrumented.module,
+                    Some(&run.outcome.instrumented.map),
+                    prepared.workload.entry,
+                    &[Value::Int(prepared.workload.eval_arg)],
+                    &sfi,
+                )
+                .expect("golden run completes");
+                cached = Some((i, campaign));
+            }
+            let safe = cached.as_ref().expect("campaign just cached").1.run(&sfi).safe_fraction();
             table.row(vec![
                 name.to_string(),
                 label.to_string(),
-                pct(prot),
-                pct(ovh),
+                pct(run.outcome.breakdown.protected_fraction()),
+                pct(run.measured_overhead),
                 pct(safe),
             ]);
             match baseline_safe {

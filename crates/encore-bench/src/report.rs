@@ -8,7 +8,7 @@
 //! detection-latency histograms — without any serialization dependency.
 
 use encore_core::alpha_at_latency;
-use encore_sim::{CampaignReport, FaultOutcome, LATENCY_BINS};
+use encore_sim::{CampaignReport, FaultOutcome, SpliceRule, SpliceStats, LATENCY_BINS};
 
 /// A fixed-width text table.
 #[derive(Clone, Debug, Default)]
@@ -97,8 +97,9 @@ pub fn campaign_json(workload: &str, report: &CampaignReport) -> String {
     out.push_str(&format!("  \"workload\": \"{}\",\n", json_escape(workload)));
     out.push_str(&format!(
         "  \"config\": {{\"injections\": {}, \"dmax\": {}, \"seed\": {}, \
-         \"fuel_factor\": {}, \"workers\": {}}},\n",
-        c.injections, c.dmax, c.seed, c.fuel_factor, c.workers
+         \"fuel_factor\": {}, \"workers\": {}, \"snapshot_stride\": {}, \
+         \"splice\": {}}},\n",
+        c.injections, c.dmax, c.seed, c.fuel_factor, c.workers, c.snapshot_stride, c.splice
     ));
     out.push_str("  \"outcomes\": {");
     for (i, o) in FaultOutcome::ALL.iter().enumerate() {
@@ -112,6 +113,16 @@ pub fn campaign_json(workload: &str, report: &CampaignReport) -> String {
         "  \"safe_fraction\": {:.6},\n  \"recovered_fraction\": {:.6},\n",
         s.safe_fraction(),
         s.recovered_fraction()
+    ));
+    let sp = &report.splice;
+    out.push_str(&format!(
+        "  \"splice\": {{\"converged\": {}, \"dead_diff\": {}, \"sdc\": {}, \
+         \"total\": {}, \"dyn_insts_saved\": {}}},\n",
+        sp.converged,
+        sp.dead_diff,
+        sp.sdc,
+        sp.total(),
+        sp.dyn_insts_saved
     ));
     out.push_str("  \"latency_histograms\": {\n");
     for (i, o) in FaultOutcome::ALL.iter().enumerate() {
@@ -165,6 +176,27 @@ pub fn latency_table(report: &CampaignReport, hot_len: Option<u64>) -> Table {
         }
         table.row(row);
     }
+    table
+}
+
+/// Tabulates the per-rule splice engagement breakdown of a campaign:
+/// how many runs each early-exit rule certified, their share of all
+/// injections, and (bottom row) the golden-suffix work skipped.
+pub fn splice_table(injections: usize, splice: &SpliceStats) -> Table {
+    let mut table = Table::new(&["splice rule", "runs", "share"]);
+    let share = |n: usize| {
+        if injections == 0 { "-".to_string() } else { pct(n as f64 / injections as f64) }
+    };
+    for rule in SpliceRule::ALL {
+        let n = splice.count(rule);
+        table.row(vec![rule.label().to_string(), n.to_string(), share(n)]);
+    }
+    table.row(vec!["total".to_string(), splice.total().to_string(), share(splice.total())]);
+    table.row(vec![
+        "suffix insts skipped".to_string(),
+        splice.dyn_insts_saved.to_string(),
+        "-".to_string(),
+    ]);
     table
 }
 
@@ -236,9 +268,13 @@ mod tests {
         for key in [
             "\"workload\": \"g721encode\"",
             "\"seed\": 9",
+            "\"snapshot_stride\":",
+            "\"splice\": true",
             "\"recovered\": 1",
             "\"benign\": 1",
             "\"silent_corruption\": 1",
+            "\"splice\": {\"converged\": 0, \"dead_diff\": 0, \"sdc\": 0",
+            "\"dyn_insts_saved\": 0",
             "\"latency_histograms\"",
         ] {
             assert!(json.contains(key), "missing {key} in:\n{json}");
@@ -246,6 +282,17 @@ mod tests {
         // Structurally balanced (cheap sanity without a JSON parser).
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn splice_table_breaks_down_rules() {
+        let splice = SpliceStats { converged: 2, dead_diff: 1, sdc: 5, dyn_insts_saved: 900 };
+        let rendered = splice_table(10, &splice).render();
+        assert!(rendered.contains("converged"), "{rendered}");
+        assert!(rendered.contains("dead_diff"), "{rendered}");
+        assert!(rendered.contains("sdc"), "{rendered}");
+        assert!(rendered.contains("80.0%"), "total share missing:\n{rendered}");
+        assert!(rendered.contains("900"), "{rendered}");
     }
 
     #[test]

@@ -69,6 +69,10 @@ pub struct Options {
     /// Worker threads for the pipeline's per-function analysis loop
     /// (0 = all available cores); output is bit-identical at any count.
     pub analysis_workers: usize,
+    /// Divergence splicing for `sfi` (on by default; `--no-splice`
+    /// disables it). A pure performance knob: outcomes and latency
+    /// histograms are bit-identical either way.
+    pub splice: bool,
     /// Output path for commands that write files.
     pub output: Option<String>,
 }
@@ -87,6 +91,7 @@ impl Default for Options {
             workers: 0,
             snapshot_stride: SfiConfig::default().snapshot_stride,
             analysis_workers: 0,
+            splice: true,
             output: None,
         }
     }
@@ -156,6 +161,7 @@ impl Options {
                         .parse()
                         .map_err(|e| err(format!("--analysis-workers: {e}")))?
                 }
+                "--no-splice" => opts.splice = false,
                 "-o" | "--output" => opts.output = Some(take("-o")?.clone()),
                 flag if flag.starts_with('-') => {
                     return Err(err(format!("unknown flag `{flag}`")))
@@ -383,6 +389,7 @@ pub fn cmd_sfi(text: &str, opts: &Options) -> Result<String, CliError> {
         seed: opts.seed,
         workers: opts.workers,
         snapshot_stride: opts.snapshot_stride,
+        splice: opts.splice,
         ..Default::default()
     };
     let campaign = SfiCampaign::prepare(
@@ -393,7 +400,8 @@ pub fn cmd_sfi(text: &str, opts: &Options) -> Result<String, CliError> {
         &sfi,
     )
     .map_err(|e| err(format!("cannot run campaign: {e} (is --eval-arg valid for this workload?)")))?;
-    let stats = campaign.run(&sfi);
+    let report = campaign.run_report(&sfi);
+    let stats = report.stats;
     let composed = MaskingModel::arm926().compose(&stats);
     let mut out = String::new();
     let _ = writeln!(
@@ -411,6 +419,19 @@ pub fn cmd_sfi(text: &str, opts: &Options) -> Result<String, CliError> {
     let _ = writeln!(out, "crashed:                  {}", stats.crashed);
     let _ = writeln!(out, "hung:                     {}", stats.hung);
     let _ = writeln!(out, "safe fraction:            {:.1}%", stats.safe_fraction() * 100.0);
+    if sfi.splice {
+        let s = report.splice;
+        let _ = writeln!(
+            out,
+            "spliced early exits:      {} (converged {}, dead-diff {}, sdc {}); \
+             {} golden-suffix insts skipped",
+            s.total(),
+            s.converged,
+            s.dead_diff,
+            s.sdc,
+            s.dyn_insts_saved
+        );
+    }
     let _ = writeln!(
         out,
         "with 91% hw masking:      {:.1}% total coverage",
@@ -471,6 +492,10 @@ FLAGS:
     --analysis-workers N  pipeline analysis worker threads
                         (default 0 = all cores; output is bit-identical
                         at any worker count)
+    --no-splice         disable sfi divergence splicing (early exit for
+                        runs provably converged, dead-diff recovered or
+                        silently corrupt); outcomes and latencies are
+                        bit-identical with or without it
     -o, --output PATH   write output to a file
 "
     .to_string()
@@ -627,6 +652,37 @@ mod tests {
         let strip = |s: &str| s.lines().skip(1).collect::<Vec<_>>().join("\n");
         assert_eq!(strip(&one), strip(&four));
         assert!(one.contains("seed: 0x2a"), "{one}");
+    }
+
+    #[test]
+    fn sfi_no_splice_flag_changes_nothing_but_the_splice_line() {
+        let text = demo_text("rawcaudio");
+        let base = vec![
+            "--train-arg".to_string(),
+            "64".into(),
+            "--eval-arg".into(),
+            "96".into(),
+            "--injections".into(),
+            "24".into(),
+            "--seed".into(),
+            "42".into(),
+            "--workers".into(),
+            "2".into(),
+        ];
+        let mut with_flag = base.clone();
+        with_flag.push("--no-splice".into());
+        let (_, on) = Options::parse(&base).unwrap();
+        let (_, off) = Options::parse(&with_flag).unwrap();
+        assert!(on.splice && !off.splice);
+        let spliced = cmd_sfi(&text, &on).expect("spliced campaign");
+        let plain = cmd_sfi(&text, &off).expect("unspliced campaign");
+        assert!(spliced.contains("spliced early exits"), "{spliced}");
+        assert!(!plain.contains("spliced early exits"), "{plain}");
+        // Outcome lines agree; only the splice report differs.
+        let strip = |s: &str| {
+            s.lines().filter(|l| !l.starts_with("spliced")).collect::<Vec<_>>().join("\n")
+        };
+        assert_eq!(strip(&spliced), strip(&plain));
     }
 
     #[test]

@@ -46,6 +46,15 @@ impl Externs {
         })
     }
 
+    /// Environment-state equality modulo the output channel: PRNG and
+    /// clock agree, so the two environments answer every future extern
+    /// call identically even if their output histories differ. The
+    /// divergence splice compares output separately (it is append-only
+    /// and never rolled back, so a diverged prefix is permanent).
+    pub fn state_equal_ignoring_output(&self, other: &Externs) -> bool {
+        self.prng == other.prng && self.clock == other.clock
+    }
+
     /// Invokes external `name`.
     ///
     /// # Errors

@@ -22,7 +22,7 @@
 use crate::externs::Externs;
 use crate::memory::Memory;
 use crate::predecode::{BaseMode, DecodedAddr, DecodedModule, MicroOp};
-use crate::snapshot::{Snapshot, SnapshotLog};
+use crate::snapshot::{AccessChunks, Snapshot, SnapshotLog};
 use crate::value::{eval_bin, eval_un, Value};
 use encore_core::RegionMap;
 use encore_analysis::Profile;
@@ -285,17 +285,80 @@ struct FaultState {
     detected: bool,
 }
 
+/// Which early-exit rule certified a spliced run's outcome.
+///
+/// All three rules fire at a probe point where the run's control state
+/// (frames, allocation counters, extern PRNG/clock) equals a golden
+/// snapshot's at the realigned position — they differ only in what the
+/// residual *memory/output* diff proves about the suffix.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum SpliceRule {
+    /// Rule (a) — generalized recovered-splice: the diff emptied (full
+    /// architectural-state equality, output included). The remaining
+    /// execution is bit-identical to the golden suffix: a certain
+    /// `Recovered`.
+    Converged,
+    /// Rule (b) — dead-diff splice: the residual diff is confined to
+    /// cells the golden suffix never reads, every divergent *global*
+    /// cell is overwritten by the suffix (or is not architecturally
+    /// observable), and the output prefix matches. The suffix executes
+    /// identically and the final observable state equals golden's: a
+    /// certain `Recovered` without simulating the suffix.
+    DeadDiff,
+    /// Rule (c) — SDC splice: the residual diff is dead (rule (b)'s
+    /// read-set condition holds, so the suffix still executes
+    /// identically and the run provably terminates like golden), but
+    /// the append-only output prefix has diverged or a dead global cell
+    /// escapes every suffix write: a certain `SilentCorruption`.
+    Sdc,
+}
+
+impl SpliceRule {
+    /// Every rule, in reporting order.
+    pub const ALL: [SpliceRule; 3] = [SpliceRule::Converged, SpliceRule::DeadDiff, SpliceRule::Sdc];
+
+    /// Stable snake_case label (used as JSON keys in campaign reports).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            SpliceRule::Converged => "converged",
+            SpliceRule::DeadDiff => "dead_diff",
+            SpliceRule::Sdc => "sdc",
+        }
+    }
+}
+
 /// How [`Machine::run_to_end_or_splice`] finished.
 pub(crate) enum SpliceRun {
     /// Ran to completion or a terminal trap, exactly like
     /// [`Machine::run_to_end`].
     Done(Option<Trap>),
-    /// After a rollback, the machine's architectural state became
-    /// equal to a golden snapshot's at the realigned position with
-    /// enough fuel to cover the golden suffix: the rest of the run is
-    /// provably identical to the golden run, so the outcome is a
-    /// certain `Recovered` without executing the suffix.
-    Converged,
+    /// A splice rule certified the outcome at a probe point; the `u64`
+    /// is the golden-suffix dynamic instruction count the run did *not*
+    /// execute.
+    Spliced(SpliceRule, u64),
+}
+
+/// Golden-capture bookkeeping for the divergence splice: the memory
+/// cells read and written since the last snapshot capture, sealed into
+/// one chunk per inter-snapshot interval. [`SnapshotLog`] folds the
+/// chunks into per-snapshot suffix summaries. Only golden capture runs
+/// carry one (they route through the general executor), so injection
+/// runs pay nothing.
+#[derive(Default)]
+struct MemAccessLog {
+    reads: std::collections::HashSet<(u32, u32)>,
+    writes: std::collections::HashSet<(u32, u32)>,
+    read_chunks: AccessChunks,
+    write_chunks: AccessChunks,
+}
+
+impl MemAccessLog {
+    /// Closes the current interval: drains the live sets into chunks.
+    fn seal(&mut self) {
+        self.read_chunks.push(self.reads.drain().collect());
+        self.write_chunks.push(self.writes.drain().collect());
+    }
 }
 
 /// The interpreter. `'m` is the module's lifetime, `'c` the pre-decoded
@@ -326,6 +389,8 @@ pub(crate) struct Machine<'m, 'c> {
     eligible_seen: u64,
     ckpt_high_water: u64,
     splice: SpliceTrack,
+    /// Suffix-summary capture (golden runs with snapshots only).
+    mem_log: Option<Box<MemAccessLog>>,
     fuel: u64,
     final_ret: Option<Value>,
 }
@@ -601,9 +666,14 @@ pub fn run_function_with_snapshots<'m>(
         m.run_to_end()
     } else {
         m.enable_act_log();
+        m.enable_mem_log();
         m.run_to_end_capturing(stride, &mut log)
     };
     log.set_activation_dyn(m.take_act_log());
+    if stride > 0 {
+        let (reads, writes) = m.take_mem_chunks();
+        log.set_suffix_summaries(reads, writes);
+    }
     (m.into_result(trap), log)
 }
 
@@ -661,6 +731,7 @@ impl<'m, 'c> Machine<'m, 'c> {
             eligible_seen: 0,
             ckpt_high_water: 0,
             splice: SpliceTrack::default(),
+            mem_log: None,
             fuel: config.fuel,
             final_ret: None,
         }
@@ -722,6 +793,7 @@ impl<'m, 'c> Machine<'m, 'c> {
             eligible_seen: snap.eligible_seen,
             ckpt_high_water: snap.ckpt_high_water,
             splice: SpliceTrack { activations: snap.activations, ..SpliceTrack::default() },
+            mem_log: None,
             fuel: config.fuel,
             final_ret: None,
         }
@@ -1237,6 +1309,7 @@ impl<'m, 'c> Machine<'m, 'c> {
                 })?;
                 self.trace_mem(encore_ir::AccessKind::Load, obj, idx);
                 self.note_footprint(func_id, at, obj, idx);
+                self.log_mem_access(obj, idx, false);
                 let v = self.maybe_inject(v);
                 self.set_reg(*dst, v);
             }
@@ -1250,6 +1323,7 @@ impl<'m, 'c> Machine<'m, 'c> {
                 })?;
                 self.trace_mem(encore_ir::AccessKind::Store, obj, idx);
                 self.note_footprint(func_id, at, obj, idx);
+                self.log_mem_access(obj, idx, true);
             }
             Inst::Lea { dst, addr } => {
                 let (obj, idx) = self.resolve(addr)?;
@@ -1313,6 +1387,7 @@ impl<'m, 'c> Machine<'m, 'c> {
                     kind: TrapKind::Memory(e.message),
                     at: self.dyn_insts,
                 })?;
+                self.log_mem_access(obj, idx, false);
                 let frame = self.frames.last_mut().expect("frame");
                 if let Some(rec) = &mut frame.recovery {
                     rec.log.push(CkptEntry::Mem { obj, idx, val });
@@ -1349,6 +1424,7 @@ impl<'m, 'c> Machine<'m, 'c> {
                                 kind: TrapKind::Memory(e.message),
                                 at: self.dyn_insts,
                             })?;
+                            self.log_mem_access(obj, idx, true);
                         }
                     }
                 }
@@ -1434,19 +1510,20 @@ impl<'m, 'c> Machine<'m, 'c> {
     }
 
     /// [`Machine::run_to_end`] for campaign injection runs, with the
-    /// convergence splice: after a rollback realigns the run against
-    /// the golden activation timeline, successive golden snapshots are
-    /// probed for architectural-state equality; a hit proves the
-    /// remaining execution is identical to the golden run's and ends
-    /// the run early. See [`SpliceTrack`] for why a hit is sound and a
-    /// miss merely falls back to plain execution.
+    /// divergence-tracked splice: after a rollback realigns the run
+    /// against the golden activation timeline, successive golden
+    /// snapshots are probed and the run's *diff* against each is
+    /// classified by [`Machine::classify_divergence`] — a certified
+    /// rule ends the run early; a miss merely falls back to plain
+    /// execution. See [`SpliceTrack`] for the realignment mechanics
+    /// and [`SpliceRule`] for the per-rule soundness arguments.
     pub(crate) fn run_to_end_or_splice(
         &mut self,
         snapshots: &SnapshotLog,
         golden_final_dyn: u64,
     ) -> SpliceRun {
-        /// Probe-index backoff cap: a truly corrupted run pays for a
-        /// handful of failed comparisons, then one compare per
+        /// Probe-index backoff cap: a truly unclassifiable run pays for
+        /// a handful of failed comparisons, then one compare per
         /// `MAX_PROBE_GAP` snapshots for the rest of its suffix.
         const MAX_PROBE_GAP: usize = 16;
         self.splice.armed = true;
@@ -1476,9 +1553,11 @@ impl<'m, 'c> Machine<'m, 'c> {
             return SpliceRun::Done(self.run_to_end());
         };
         // Phase 2: execute on, pausing at each probed golden snapshot's
-        // realigned position (`snapshot dyn + delta`) to compare state.
+        // realigned position (`snapshot dyn + delta`) to classify the
+        // state diff.
         let mut idx = snapshots.first_at_or_after_dyn(self.dyn_insts.saturating_sub(delta));
         let mut gap = 1usize;
+        let mut diff: Vec<(u32, u32)> = Vec::new();
         loop {
             let Some(snap) = snapshots.get(idx) else {
                 // Past the last golden snapshot: finish normally.
@@ -1496,8 +1575,8 @@ impl<'m, 'c> Machine<'m, 'c> {
                     Err(t) => return SpliceRun::Done(Some(t)),
                 }
             }
-            // The comparison is only meaningful when the pause landed
-            // exactly on the realigned position (instruction costs can
+            // A probe is only meaningful when the pause landed exactly
+            // on the realigned position (instruction costs can
             // overshoot a bound), no fault is pending, and the fuel
             // headroom covers the golden suffix at this run's offset —
             // otherwise the continuation could diverge by a fuel trap
@@ -1505,30 +1584,91 @@ impl<'m, 'c> Machine<'m, 'c> {
             if self.dyn_insts == target
                 && self.fault.is_none()
                 && golden_final_dyn.saturating_sub(snap.dyn_insts) + self.dyn_insts < self.fuel
-                && self.converged_with(snap)
             {
-                return SpliceRun::Converged;
+                if let Some(rule) = self.classify_divergence(snapshots, idx, snap, &mut diff) {
+                    return SpliceRun::Spliced(rule, golden_final_dyn - snap.dyn_insts);
+                }
             }
             idx += gap;
             gap = (gap * 2).min(MAX_PROBE_GAP);
         }
     }
 
-    /// Architectural-state equality against a golden snapshot — the
-    /// splice's convergence predicate, cheapest fields first so
-    /// diverged runs fail fast. Counters that influence neither the
-    /// remaining execution nor the campaign's outcome classification
-    /// (`dyn_insts`, `eligible_seen`, instrumentation/region
-    /// accounting, the checkpoint high-water mark) are deliberately
-    /// excluded; `dyn_insts` enters through the caller's fuel-headroom
-    /// check instead.
-    fn converged_with(&self, snap: &Snapshot) -> bool {
-        self.frame_seq == snap.frame_seq
-            && self.heap_seq == snap.heap_seq
-            && self.last_alloc_of_site == snap.last_alloc_of_site
-            && self.externs == snap.externs
-            && self.frames == snap.frames
-            && self.mem == snap.mem
+    /// The splice's probe predicate: classifies the run's divergence
+    /// from golden snapshot `snap` (index `idx`), or `None` when no
+    /// rule can certify an outcome here.
+    ///
+    /// The gate requires control-state equality — frames (registers,
+    /// positions, armed recovery logs), allocation counters and the
+    /// non-output extern state — so the only admissible divergence is
+    /// in memory cells and the output channel. Under a deterministic
+    /// interpreter, equal control state plus a memory diff no future
+    /// instruction reads means the suffix executes *identically* to
+    /// the golden suffix (same control flow, same writes, same output
+    /// appends): the final state is then golden's, modulo exactly the
+    /// divergent cells the suffix never overwrites and the
+    /// already-diverged output prefix. The rules read off the outcome:
+    ///
+    /// * diff empty, output equal → [`SpliceRule::Converged`];
+    /// * diff dead (∉ suffix reads), every divergent global cell
+    ///   healed by a suffix write, output equal →
+    ///   [`SpliceRule::DeadDiff`] (final state provably golden);
+    /// * diff dead but output diverged or a global cell persists →
+    ///   [`SpliceRule::Sdc`] (final state provably differs).
+    ///
+    /// Counters that influence neither the remaining execution nor the
+    /// outcome classification (`dyn_insts`, `eligible_seen`,
+    /// instrumentation/region accounting, the checkpoint high-water
+    /// mark) are deliberately excluded; `dyn_insts` enters through the
+    /// caller's fuel-headroom check instead.
+    fn classify_divergence(
+        &self,
+        snapshots: &SnapshotLog,
+        idx: usize,
+        snap: &Snapshot,
+        diff: &mut Vec<(u32, u32)>,
+    ) -> Option<SpliceRule> {
+        /// Residual-diff size cap: a run diverging in more cells than
+        /// this is not worth scanning summaries for (and is very
+        /// unlikely to be dead); the probe backoff bounds the total
+        /// compare cost either way.
+        const DIFF_CAP: usize = 64;
+        // Cheapest fields first so diverged runs fail fast.
+        if self.frame_seq != snap.frame_seq
+            || self.heap_seq != snap.heap_seq
+            || self.last_alloc_of_site != snap.last_alloc_of_site
+            || !self.externs.state_equal_ignoring_output(&snap.externs)
+            || self.frames != snap.frames
+        {
+            return None;
+        }
+        if !self.mem.diff_cells(&snap.mem, DIFF_CAP, diff) {
+            return None;
+        }
+        let out_eq = self.externs.output == snap.externs.output;
+        if diff.is_empty() && out_eq {
+            return Some(SpliceRule::Converged);
+        }
+        // Rules (b)/(c) need the golden suffix access summaries.
+        let reads = snapshots.suffix_reads(idx)?;
+        let writes = snapshots.suffix_writes(idx)?;
+        if diff.iter().any(|&(o, i)| reads.contains(o, i)) {
+            // A divergent cell feeds the suffix: its fate is unprovable
+            // here. Keep executing — later probes may still certify.
+            return None;
+        }
+        // Dead diff. Non-global cells are architecturally invisible;
+        // a global cell the suffix overwrites heals to golden's value
+        // (the suffix executes identically); one it never writes
+        // persists into the final observable state.
+        let persists = diff
+            .iter()
+            .any(|&(o, i)| self.mem.is_global(o as usize) && !writes.contains(o, i));
+        if out_eq && !persists {
+            Some(SpliceRule::DeadDiff)
+        } else {
+            Some(SpliceRule::Sdc)
+        }
     }
 
     /// Start recording the golden activation timeline (dyn count at
@@ -1542,6 +1682,33 @@ impl<'m, 'c> Machine<'m, 'c> {
         self.splice.act_log.take().unwrap_or_default()
     }
 
+    /// Start recording per-interval memory access chunks for the
+    /// divergence splice's suffix summaries. Forces the general
+    /// executor (the sprint's fast path has no recording hooks) — a
+    /// one-time cost on the golden capture run only.
+    fn enable_mem_log(&mut self) {
+        self.mem_log = Some(Box::default());
+        self.observing = true;
+    }
+
+    /// Notes one memory access into the active log, if any.
+    #[inline]
+    fn log_mem_access(&mut self, obj: usize, idx: i64, write: bool) {
+        if let Some(log) = &mut self.mem_log {
+            // A successful access bounds-checked both coordinates.
+            let cell = (obj as u32, idx as u32);
+            if write { log.writes.insert(cell) } else { log.reads.insert(cell) };
+        }
+    }
+
+    /// Seals the final interval and hands back `(read, write)` chunks —
+    /// one per inter-snapshot interval plus the capture-to-end tail.
+    fn take_mem_chunks(&mut self) -> (AccessChunks, AccessChunks) {
+        let mut log = self.mem_log.take().expect("mem log enabled");
+        log.seal();
+        (log.read_chunks, log.write_chunks)
+    }
+
     /// [`Machine::run_to_end`] for fault-free runs, capturing a
     /// snapshot into `log` at the first step boundary past each
     /// `stride`-instruction interval.
@@ -1550,6 +1717,9 @@ impl<'m, 'c> Machine<'m, 'c> {
         let mut next_at = stride;
         loop {
             if self.dyn_insts >= next_at && !self.frames.is_empty() {
+                if let Some(ml) = &mut self.mem_log {
+                    ml.seal();
+                }
                 log.push(self.capture_snapshot());
                 next_at = self.dyn_insts + stride;
             }

@@ -48,14 +48,14 @@ mod value;
 pub use externs::Externs;
 pub use interp::{
     resume_function, run_function, run_function_with_snapshots, FaultPlan, FaultTelemetry,
-    RunConfig, RunResult, Trap, TrapKind,
+    RunConfig, RunResult, SpliceRule, Trap, TrapKind,
 };
 pub use masking::{ComposedCoverage, MaskingModel};
 pub use memory::{MemError, MemObject, Memory};
 pub use predecode::DecodedModule;
 pub use sfi::{
     CampaignReport, FaultOutcome, GoldenRunError, LatencyHistogram, SfiCampaign, SfiConfig,
-    SfiStats, LATENCY_BINS,
+    SfiStats, SpliceEngagement, SpliceStats, LATENCY_BINS,
 };
 pub use snapshot::{Snapshot, SnapshotLog};
 pub use value::{eval_bin, eval_un, EvalError, Value};

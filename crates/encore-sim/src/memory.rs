@@ -153,6 +153,45 @@ impl Memory {
     pub fn object_count(&self) -> usize {
         self.objects.len()
     }
+
+    /// `true` when `handle` names a global object (the architecturally
+    /// observable segment).
+    pub fn is_global(&self, handle: usize) -> bool {
+        handle < self.global_count
+    }
+
+    /// Collects into `out` every `(object, cell)` where `self` and
+    /// `other` disagree, up to `cap` cells.
+    ///
+    /// Returns `false` — leaving `out` in an unspecified state — when
+    /// the two memories are not cell-comparable (different object
+    /// counts, kinds or sizes) or the diff exceeds `cap`; `true` means
+    /// `out` is the *complete* diff. The divergence splice treats
+    /// `false` as "cannot certify", so the bound is a performance cap,
+    /// never a soundness concern.
+    pub fn diff_cells(&self, other: &Memory, cap: usize, out: &mut Vec<(u32, u32)>) -> bool {
+        out.clear();
+        if self.objects.len() != other.objects.len() || self.global_count != other.global_count {
+            return false;
+        }
+        for (h, (a, b)) in self.objects.iter().zip(other.objects.iter()).enumerate() {
+            if a.kind != b.kind || a.cells.len() != b.cells.len() {
+                return false;
+            }
+            if a.cells == b.cells {
+                continue;
+            }
+            for (i, (va, vb)) in a.cells.iter().zip(b.cells.iter()).enumerate() {
+                if va != vb {
+                    if out.len() == cap {
+                        return false;
+                    }
+                    out.push((h as u32, i as u32));
+                }
+            }
+        }
+        true
+    }
 }
 
 #[cfg(test)]
@@ -222,6 +261,33 @@ mod tests {
         m.alloc(ObjKind::Heap(0), 4); // heap objects are not observable
         assert!(m.globals_equal(&snap));
         assert!(!m.globals_equal(&snap[..1]));
+    }
+
+    #[test]
+    fn diff_cells_enumerates_divergence() {
+        let mut a = mem();
+        let b = mem();
+        let mut out = Vec::new();
+        assert!(a.diff_cells(&b, 8, &mut out));
+        assert!(out.is_empty());
+        a.write(0, 1, Value::Int(99)).unwrap();
+        a.write(1, 0, Value::Int(-1)).unwrap();
+        assert!(a.diff_cells(&b, 8, &mut out));
+        assert_eq!(out, vec![(0, 1), (1, 0)]);
+        // Cap exceeded → incomparable, not a truncated diff.
+        assert!(!a.diff_cells(&b, 1, &mut out));
+        // Object-shape mismatch → incomparable.
+        let mut c = mem();
+        c.alloc(ObjKind::Heap(0), 2);
+        assert!(!a.diff_cells(&c, 8, &mut out));
+    }
+
+    #[test]
+    fn globals_are_the_leading_objects() {
+        let mut m = mem();
+        assert!(m.is_global(0) && m.is_global(1));
+        let h = m.alloc(ObjKind::Heap(0), 1);
+        assert!(!m.is_global(h));
     }
 
     #[test]

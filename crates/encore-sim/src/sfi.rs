@@ -23,8 +23,8 @@
 //! ```
 
 use crate::interp::{
-    run_function_with_snapshots, FaultPlan, Machine, RunConfig, RunResult, SpliceRun, Trap,
-    TrapKind,
+    run_function_with_snapshots, FaultPlan, Machine, RunConfig, RunResult, SpliceRule, SpliceRun,
+    Trap, TrapKind,
 };
 use crate::predecode::DecodedModule;
 use crate::rng::{Rng, SplitMix64};
@@ -123,6 +123,13 @@ pub struct SfiConfig {
     /// sparse enough that capture stays a small fraction of the golden
     /// run.
     pub snapshot_stride: u64,
+    /// Enable the divergence splice: classify rolled-back runs early
+    /// via the [`SpliceRule`] early-exit rules instead of executing
+    /// their full suffix. On by default; outcomes and latency
+    /// histograms are bit-identical either way (the rules only certify
+    /// outcomes full execution would reach), so `false` exists as an
+    /// escape hatch and differential-testing reference.
+    pub splice: bool,
 }
 
 impl Default for SfiConfig {
@@ -134,6 +141,7 @@ impl Default for SfiConfig {
             fuel_factor: 4,
             workers: 0,
             snapshot_stride: 256,
+            splice: true,
         }
     }
 }
@@ -299,11 +307,84 @@ impl LatencyHistogram {
     }
 
     /// Adds another shard's bins into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in release builds too) when the histograms span
+    /// different `dmax` ranges — their bins cover different latency
+    /// intervals, so summing them would silently produce a histogram
+    /// that is correct for neither. Campaign shards all inherit the
+    /// campaign's `dmax` (the single call site,
+    /// [`CampaignReport::merge`], guarantees this); merging reports
+    /// from differently-configured campaigns is a caller bug this
+    /// assert turns into a loud failure instead of corrupt data.
     pub fn merge(&mut self, other: &LatencyHistogram) {
-        debug_assert_eq!(self.dmax, other.dmax, "merging histograms over different Dmax");
+        assert_eq!(self.dmax, other.dmax, "merging histograms over different Dmax");
         for (a, b) in self.bins.iter_mut().zip(other.bins.iter()) {
             *a += b;
         }
+    }
+}
+
+/// How one spliced run was certified: the rule that fired and the
+/// golden-suffix work it avoided.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SpliceEngagement {
+    /// The early-exit rule that certified the outcome.
+    pub rule: SpliceRule,
+    /// Golden-suffix dynamic instructions the run did not execute.
+    pub dyn_insts_saved: u64,
+}
+
+/// Per-rule splice engagement counts over a campaign — the observable
+/// breakdown of where the divergence splice's speedup comes from.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct SpliceStats {
+    /// Rule (a) hits: the diff emptied (bit-exact reconvergence).
+    pub converged: usize,
+    /// Rule (b) hits: dead residual diff, outcome `Recovered`.
+    pub dead_diff: usize,
+    /// Rule (c) hits: dead residual diff with diverged observables,
+    /// outcome `SilentCorruption`.
+    pub sdc: usize,
+    /// Total golden-suffix dynamic instructions not executed across all
+    /// spliced runs.
+    pub dyn_insts_saved: u64,
+}
+
+impl SpliceStats {
+    /// Records one engagement.
+    pub fn record(&mut self, e: SpliceEngagement) {
+        match e.rule {
+            SpliceRule::Converged => self.converged += 1,
+            SpliceRule::DeadDiff => self.dead_diff += 1,
+            SpliceRule::Sdc => self.sdc += 1,
+        }
+        self.dyn_insts_saved += e.dyn_insts_saved;
+    }
+
+    /// The count recorded for `rule`.
+    #[must_use]
+    pub fn count(&self, rule: SpliceRule) -> usize {
+        match rule {
+            SpliceRule::Converged => self.converged,
+            SpliceRule::DeadDiff => self.dead_diff,
+            SpliceRule::Sdc => self.sdc,
+        }
+    }
+
+    /// Runs spliced by any rule.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.converged + self.dead_diff + self.sdc
+    }
+
+    /// Adds another shard's counts into this one.
+    pub fn merge(&mut self, other: &SpliceStats) {
+        self.converged += other.converged;
+        self.dead_diff += other.dead_diff;
+        self.sdc += other.sdc;
+        self.dyn_insts_saved += other.dyn_insts_saved;
     }
 }
 
@@ -319,6 +400,10 @@ pub struct CampaignReport {
     /// Detection-latency histogram per outcome, indexed by
     /// [`FaultOutcome::index`].
     pub latency: [LatencyHistogram; FaultOutcome::ALL.len()],
+    /// Divergence-splice engagement breakdown. The only report field
+    /// splicing is allowed to change: `stats` and `latency` are
+    /// bit-identical with splicing on or off.
+    pub splice: SpliceStats,
 }
 
 impl CampaignReport {
@@ -329,6 +414,7 @@ impl CampaignReport {
             config,
             stats: SfiStats::default(),
             latency: [LatencyHistogram::new(config.dmax); FaultOutcome::ALL.len()],
+            splice: SpliceStats::default(),
         }
     }
 
@@ -350,6 +436,7 @@ impl CampaignReport {
         for (a, b) in self.latency.iter_mut().zip(other.latency.iter()) {
             a.merge(b);
         }
+        self.splice.merge(&other.splice);
     }
 }
 
@@ -453,13 +540,19 @@ impl<'a> SfiCampaign<'a> {
     /// carries is absolute, so fuel and detection-latency arithmetic
     /// carry over unchanged.
     pub fn run_one(&self, plan: FaultPlan) -> FaultOutcome {
-        self.run_one_traced(plan).0
+        self.run_one_detailed(plan, true).0
     }
 
-    /// [`SfiCampaign::run_one`] plus whether the run ended on a
-    /// convergence splice rather than by executing its full suffix
-    /// (exposed for tests asserting the splice actually engages).
-    fn run_one_traced(&self, plan: FaultPlan) -> (FaultOutcome, bool) {
+    /// [`SfiCampaign::run_one`] plus the splice engagement, when a
+    /// [`SpliceRule`] certified the outcome instead of the run
+    /// executing its full suffix. Pass `splice: false` to force full
+    /// execution (the differential reference — the outcome must be
+    /// identical either way).
+    pub fn run_one_detailed(
+        &self,
+        plan: FaultPlan,
+        splice: bool,
+    ) -> (FaultOutcome, Option<SpliceEngagement>) {
         let config = self.injection_config(plan);
         let mut m = match self.snapshots.nearest_at_or_before(plan.inject_at) {
             Some(snap) => {
@@ -467,19 +560,25 @@ impl<'a> SfiCampaign<'a> {
             }
             None => self.fresh_machine(&config),
         };
-        if self.snapshots.is_empty() {
+        if !splice || self.snapshots.is_empty() {
             let trap = m.run_to_end();
-            return (self.classify_machine(&m, trap), false);
+            return (self.classify_machine(&m, trap), None);
         }
-        // With golden snapshots on hand, a rolled-back run that
-        // reconverges to the golden state can stop early: a state match
-        // proves the suffix would replay the golden run exactly, so the
-        // outcome is a certain `Recovered` (golden-equal final state
-        // after a rollback — precisely `classify_machine`'s Recovered
-        // arm, without simulating the suffix).
+        // With golden snapshots on hand, a rolled-back run whose diff
+        // against the aligned golden timeline becomes provably inert
+        // can stop early: rule (a)/(b) hits are the `Recovered` arm of
+        // `classify_machine` (golden-equal final state after a
+        // rollback) and rule (c) hits are its `SilentCorruption` arm —
+        // each certified without simulating the suffix.
         match m.run_to_end_or_splice(&self.snapshots, self.golden.dyn_insts) {
-            SpliceRun::Done(trap) => (self.classify_machine(&m, trap), false),
-            SpliceRun::Converged => (FaultOutcome::Recovered, true),
+            SpliceRun::Done(trap) => (self.classify_machine(&m, trap), None),
+            SpliceRun::Spliced(rule, dyn_insts_saved) => {
+                let outcome = match rule {
+                    SpliceRule::Converged | SpliceRule::DeadDiff => FaultOutcome::Recovered,
+                    SpliceRule::Sdc => FaultOutcome::SilentCorruption,
+                };
+                (outcome, Some(SpliceEngagement { rule, dyn_insts_saved }))
+            }
         }
     }
 
@@ -529,7 +628,11 @@ impl<'a> SfiCampaign<'a> {
         let mut report = CampaignReport::new(*config);
         for index in lo..hi {
             let plan = config.plan_for(index, space);
-            report.record(plan, self.run_one(plan));
+            let (outcome, engagement) = self.run_one_detailed(plan, config.splice);
+            report.record(plan, outcome);
+            if let Some(e) = engagement {
+                report.splice.record(e);
+            }
         }
         report
     }
@@ -744,18 +847,24 @@ mod tests {
         let mut spliced = 0;
         for index in 0..config.injections as u64 {
             let plan = config.plan_for(index, space);
-            let (fast, via_splice) = campaign.run_one_traced(plan);
+            let (fast, engagement) = campaign.run_one_detailed(plan, true);
             assert_eq!(
                 fast,
                 campaign.run_one_from_scratch(plan),
                 "splice path diverged from scratch on {plan:?}"
             );
-            if via_splice {
-                assert_eq!(fast, FaultOutcome::Recovered);
+            if let Some(e) = engagement {
+                match e.rule {
+                    SpliceRule::Converged | SpliceRule::DeadDiff => {
+                        assert_eq!(fast, FaultOutcome::Recovered);
+                    }
+                    SpliceRule::Sdc => assert_eq!(fast, FaultOutcome::SilentCorruption),
+                }
+                assert!(e.dyn_insts_saved > 0, "a splice must skip suffix work");
                 spliced += 1;
             }
         }
-        assert!(spliced > 0, "convergence splice never engaged");
+        assert!(spliced > 0, "divergence splice never engaged");
     }
 
     #[test]

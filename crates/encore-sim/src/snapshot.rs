@@ -31,7 +31,65 @@
 use crate::externs::Externs;
 use crate::interp::Frame;
 use crate::memory::Memory;
+use std::collections::BTreeSet;
 use std::sync::Arc;
+
+/// Per-interval memory access chunks: one `(object handle, cell index)`
+/// list per inter-snapshot interval of the golden run.
+pub(crate) type AccessChunks = Vec<Vec<(u32, u32)>>;
+
+/// A sorted, deduplicated set of `(object handle, cell index)` pairs —
+/// the representation of a golden suffix access summary. Lookup is a
+/// binary search.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub(crate) struct CellSet {
+    cells: Vec<(u32, u32)>,
+}
+
+impl CellSet {
+    fn from_sorted(cells: Vec<(u32, u32)>) -> Self {
+        debug_assert!(cells.windows(2).all(|w| w[0] < w[1]), "CellSet input must be sorted");
+        Self { cells }
+    }
+
+    /// `true` when the set contains `(obj, idx)`.
+    pub(crate) fn contains(&self, obj: u32, idx: u32) -> bool {
+        self.cells.binary_search(&(obj, idx)).is_ok()
+    }
+
+    /// Number of cells in the set.
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.cells.len()
+    }
+}
+
+/// Folds per-interval access chunks into per-snapshot suffix summaries:
+/// `chunks` has one entry per inter-snapshot interval (`n + 1` for `n`
+/// snapshots — the final chunk covers capture to program end), and
+/// `suffix[k] = ∪ chunks[k+1..]` — every cell the golden run touches
+/// *after* snapshot `k`. Built backwards in one pass; snapshots whose
+/// trailing chunk is empty share the next summary's allocation.
+fn suffix_union(mut chunks: AccessChunks, snapshots: usize) -> Vec<Arc<CellSet>> {
+    debug_assert_eq!(chunks.len(), snapshots + 1, "one chunk per interval");
+    let mut acc: BTreeSet<(u32, u32)> = BTreeSet::new();
+    let mut out: Vec<Arc<CellSet>> = Vec::with_capacity(snapshots);
+    let mut prev: Option<Arc<CellSet>> = None;
+    for k in (0..snapshots).rev() {
+        let chunk = std::mem::take(&mut chunks[k + 1]);
+        let summary = match (&prev, chunk.is_empty()) {
+            (Some(p), true) => Arc::clone(p),
+            _ => {
+                acc.extend(chunk);
+                Arc::new(CellSet::from_sorted(acc.iter().copied().collect()))
+            }
+        };
+        prev = Some(Arc::clone(&summary));
+        out.push(summary);
+    }
+    out.reverse();
+    out
+}
 
 /// Complete interpreter state at one golden-run step boundary.
 ///
@@ -97,6 +155,16 @@ pub struct SnapshotLog {
     /// convergence splice uses it to realign a rolled-back run's
     /// dyn-count timeline with the golden run's.
     activation_dyn: Vec<u64>,
+    /// Per snapshot `k`: every memory cell the golden run *reads* from
+    /// capture `k` to program end. A divergence confined to cells
+    /// outside this set can never influence the golden suffix's
+    /// execution — the dead-diff and SDC splice rules' key input.
+    suffix_reads: Vec<Arc<CellSet>>,
+    /// Per snapshot `k`: every memory cell the golden run *writes* from
+    /// capture `k` to program end. A dead (never-read) divergent cell
+    /// in this set is overwritten by the replayed suffix and heals; one
+    /// outside it persists to the final state.
+    suffix_writes: Vec<Arc<CellSet>>,
 }
 
 impl SnapshotLog {
@@ -104,7 +172,13 @@ impl SnapshotLog {
     /// disabled).
     #[must_use]
     pub(crate) fn new(stride: u64) -> Self {
-        Self { snaps: Vec::new(), stride, activation_dyn: Vec::new() }
+        Self {
+            snaps: Vec::new(),
+            stride,
+            activation_dyn: Vec::new(),
+            suffix_reads: Vec::new(),
+            suffix_writes: Vec::new(),
+        }
     }
 
     pub(crate) fn push(&mut self, snap: Snapshot) {
@@ -160,6 +234,30 @@ impl SnapshotLog {
     /// Index of the first snapshot captured at `dyn_insts >= d`.
     pub(crate) fn first_at_or_after_dyn(&self, d: u64) -> usize {
         self.snaps.partition_point(|s| s.dyn_insts < d)
+    }
+
+    /// Installs the golden suffix access summaries from per-interval
+    /// chunks (one per inter-snapshot interval, plus the final
+    /// capture-to-end chunk).
+    pub(crate) fn set_suffix_summaries(
+        &mut self,
+        read_chunks: AccessChunks,
+        write_chunks: AccessChunks,
+    ) {
+        self.suffix_reads = suffix_union(read_chunks, self.snaps.len());
+        self.suffix_writes = suffix_union(write_chunks, self.snaps.len());
+    }
+
+    /// Cells the golden run reads after snapshot `i` (`None` when
+    /// summaries were not built).
+    pub(crate) fn suffix_reads(&self, i: usize) -> Option<&CellSet> {
+        self.suffix_reads.get(i).map(Arc::as_ref)
+    }
+
+    /// Cells the golden run writes after snapshot `i` (`None` when
+    /// summaries were not built).
+    pub(crate) fn suffix_writes(&self, i: usize) -> Option<&CellSet> {
+        self.suffix_writes.get(i).map(Arc::as_ref)
     }
 }
 
@@ -218,6 +316,24 @@ mod tests {
         let last = log.snaps.last().unwrap();
         let hit = log.nearest_at_or_before(last.eligible_seen()).unwrap();
         assert_eq!(hit.eligible_seen(), last.eligible_seen());
+    }
+
+    #[test]
+    fn suffix_union_accumulates_backwards() {
+        // 2 snapshots → 3 interval chunks: [before s0], (s0, s1], (s1, end].
+        let chunks = vec![vec![(0, 0)], vec![(0, 1), (1, 0)], vec![(0, 1), (2, 5)]];
+        let sufs = suffix_union(chunks, 2);
+        assert_eq!(sufs.len(), 2);
+        // suffix[1] = last chunk only; the pre-s0 chunk never appears.
+        assert!(sufs[1].contains(0, 1) && sufs[1].contains(2, 5));
+        assert!(!sufs[1].contains(1, 0) && !sufs[1].contains(0, 0));
+        // suffix[0] ⊇ suffix[1], plus the (s0, s1] chunk.
+        assert!(sufs[0].contains(0, 1) && sufs[0].contains(2, 5) && sufs[0].contains(1, 0));
+        assert!(!sufs[0].contains(0, 0));
+        assert_eq!(sufs[0].len(), 3);
+        // Empty trailing chunks share the downstream summary.
+        let shared = suffix_union(vec![vec![], vec![], vec![(3, 3)]], 2);
+        assert!(Arc::ptr_eq(&shared[0], &shared[1]));
     }
 
     #[test]

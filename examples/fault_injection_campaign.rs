@@ -95,6 +95,18 @@ fn main() {
         println!("  latency {lo:>4}..{hi:<4} {:>5} / {all}", rec.bins[bin]);
     }
 
+    // Where the campaign's speedup came from: runs the divergence
+    // splice classified early instead of executing their full suffix,
+    // broken down by the rule that certified them (converged = diff
+    // emptied; dead_diff = dead residual diff, recovered; sdc = dead
+    // residual diff with diverged observables, silent corruption).
+    let sp = report.splice;
+    println!("\nsplice engagement ({} of {} runs exited early):", sp.total(), prot.injections);
+    for rule in encore::sim::SpliceRule::ALL {
+        println!("  {:<12} {:>5}", rule.label(), sp.count(rule));
+    }
+    println!("  golden-suffix insts skipped: {}", sp.dyn_insts_saved);
+
     // Compose with the ARM926 hardware masking rate (Figure 8's floor).
     let composed = MaskingModel::arm926().compose(&prot);
     println!(

@@ -5,10 +5,19 @@
 # variable): the analysis suite into BENCH_analysis.json and the
 # simulator/SFI-campaign suite into BENCH_sim.json. Set
 # ENCORE_BENCH_LABEL to tag the emitted rows (e.g. "baseline" vs
-# "post-change" when comparing in one file).
+# "post-change" when comparing in one file); by default rows are
+# labeled with the current git commit so results stay attributable
+# after the fact.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if [ -z "${ENCORE_BENCH_LABEL:-}" ]; then
+    sha=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+    dirty=$(git diff --quiet 2>/dev/null || echo "-dirty")
+    export ENCORE_BENCH_LABEL="$sha${dirty:-}"
+fi
+echo "==> labeling rows: $ENCORE_BENCH_LABEL"
 
 # Absolute paths: cargo runs bench binaries with cwd = the package root,
 # so a relative path would land inside crates/encore-bench/.

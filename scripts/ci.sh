@@ -26,4 +26,13 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 echo "==> SFI campaign smoke (fixed seed)"
 cargo run --release --offline --example fault_injection_campaign -- rawcaudio 24 50 0 12345
 
+# Divergence-splice smoke: a fixed-seed campaign on a hand-built kernel
+# in which all three early-exit rules (converged / dead-diff / sdc) must
+# engage, plus the differential test proving splicing never changes
+# outcomes. Catches a splice path that silently stopped firing — a pure
+# performance regression invisible to correctness tests.
+echo "==> divergence-splice smoke (fixed seed)"
+cargo test --release -q --offline --test sfi_campaign -- \
+    splice_smoke_all_rules_engage splice_never_changes_campaign_results
+
 echo "==> OK"
