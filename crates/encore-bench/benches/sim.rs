@@ -1,7 +1,8 @@
 //! Simulator suite: golden-run execution rate and SFI campaign
 //! throughput, the numbers behind `BENCH_sim.json`.
 //!
-//! Three measurements per workload:
+//! Measurements per workload (rawdaudio and g721encode, at 1× and as
+//! an `_xl` tier at 10× data scale via `Workload::scaled`):
 //!
 //! * `golden_run` — one fault-free instrumented execution (the
 //!   pre-decoded interpreter's raw speed);
@@ -14,7 +15,12 @@
 //! * `campaign_40_scratch` — the same campaign with snapshotting
 //!   disabled (`snapshot_stride: 0`), isolating how much of the
 //!   campaign speedup comes from checkpoint reuse vs. the interpreter
-//!   itself.
+//!   itself (1× tier only: from-scratch replay at 10× measures the
+//!   same thing, ten times slower);
+//! * `golden_run_xl` / `campaign_40_xl` / `campaign_40_xl_nosplice` —
+//!   the 10× tier, where snapshot capture, the divergence diff and the
+//!   splice's dead-suffix scan all walk ten times the state, so costs
+//!   that amortize at 1× show up.
 //!
 //! Campaign rows also print injections/sec derived from the fastest
 //! iteration (min-of-N, the least noise-contaminated figure on a
@@ -28,59 +34,70 @@ use encore_sim::{run_function, RunConfig, SfiCampaign, SfiConfig, Value};
 
 const INJECTIONS: usize = 40;
 
-fn main() {
-    let mut bench = Microbench::new("sim");
-    let mut throughput: Vec<(String, f64)> = Vec::new();
-    let mut splice_rates: Vec<(&str, usize, usize, usize, usize, u64)> = Vec::new();
-    for name in ["rawdaudio", "g721encode"] {
-        let prepared = prepare(encore_workloads::by_name(name).expect("workload"));
-        let outcome = Encore::new(EncoreConfig::default())
-            .run(&prepared.workload.module, &prepared.profile);
-        let module = &outcome.instrumented.module;
-        let map = Some(&outcome.instrumented.map);
-        let entry = prepared.workload.entry;
-        let args = [Value::Int(prepared.workload.eval_arg)];
+/// Benchmarks one workload spec under the tier named by `suffix`
+/// (`""` for the 1× tier, `"_xl"` for 10×).
+fn bench_tier(
+    bench: &mut Microbench,
+    throughput: &mut Vec<(String, f64)>,
+    splice_rates: &mut Vec<(String, usize, usize, usize, usize, u64)>,
+    spec: &str,
+    suffix: &str,
+    include_scratch: bool,
+) {
+    let workload = encore_workloads::by_spec(spec).expect("workload spec");
+    let name = workload.name;
+    let prepared = prepare(workload);
+    let outcome =
+        Encore::new(EncoreConfig::default()).run(&prepared.workload.module, &prepared.profile);
+    let module = &outcome.instrumented.module;
+    let map = Some(&outcome.instrumented.map);
+    let entry = prepared.workload.entry;
+    let args = [Value::Int(prepared.workload.eval_arg)];
 
-        bench.bench(&format!("golden_run/{name}"), || {
-            run_function(module, map, entry, &args, &RunConfig::default())
-        });
+    bench.bench(&format!("golden_run{suffix}/{name}"), || {
+        run_function(module, map, entry, &args, &RunConfig::default())
+    });
 
-        let snap = SfiConfig { injections: INJECTIONS, dmax: 100, workers: 1, ..Default::default() };
-        let campaign = SfiCampaign::prepare(module, map, entry, &args, &snap)
-            .expect("golden run completes");
-        let s = bench.bench(&format!("campaign_{INJECTIONS}/{name}"), || campaign.run(&snap));
-        throughput.push((
-            format!("campaign_{INJECTIONS}/{name}"),
-            INJECTIONS as f64 / (s.min_ns / 1e9),
-        ));
-        let sp = campaign.run_report(&snap).splice;
-        splice_rates.push((
-            name,
-            sp.total(),
-            sp.converged,
-            sp.dead_diff,
-            sp.sdc,
-            sp.dyn_insts_saved,
-        ));
+    let snap = SfiConfig { injections: INJECTIONS, dmax: 100, workers: 1, ..Default::default() };
+    let campaign =
+        SfiCampaign::prepare(module, map, entry, &args, &snap).expect("golden run completes");
+    let label = format!("campaign_{INJECTIONS}{suffix}/{name}");
+    let s = bench.bench(&label, || campaign.run(&snap));
+    throughput.push((label, INJECTIONS as f64 / (s.min_ns / 1e9)));
+    let sp = campaign.run_report(&snap).splice;
+    splice_rates.push((
+        prepared.workload.spec(),
+        sp.total(),
+        sp.converged,
+        sp.dead_diff,
+        sp.sdc,
+        sp.dyn_insts_saved,
+    ));
 
-        let nosplice = SfiConfig { splice: false, ..snap };
-        let s = bench
-            .bench(&format!("campaign_{INJECTIONS}_nosplice/{name}"), || campaign.run(&nosplice));
-        throughput.push((
-            format!("campaign_{INJECTIONS}_nosplice/{name}"),
-            INJECTIONS as f64 / (s.min_ns / 1e9),
-        ));
+    let nosplice = SfiConfig { splice: false, ..snap };
+    let label = format!("campaign_{INJECTIONS}{suffix}_nosplice/{name}");
+    let s = bench.bench(&label, || campaign.run(&nosplice));
+    throughput.push((label, INJECTIONS as f64 / (s.min_ns / 1e9)));
 
+    if include_scratch {
         let scratch = SfiConfig { snapshot_stride: 0, ..snap };
         let campaign = SfiCampaign::prepare(module, map, entry, &args, &scratch)
             .expect("golden run completes");
-        let s = bench.bench(&format!("campaign_{INJECTIONS}_scratch/{name}"), || {
-            campaign.run(&scratch)
-        });
-        throughput.push((
-            format!("campaign_{INJECTIONS}_scratch/{name}"),
-            INJECTIONS as f64 / (s.min_ns / 1e9),
-        ));
+        let label = format!("campaign_{INJECTIONS}{suffix}_scratch/{name}");
+        let s = bench.bench(&label, || campaign.run(&scratch));
+        throughput.push((label, INJECTIONS as f64 / (s.min_ns / 1e9)));
+    }
+}
+
+fn main() {
+    let mut bench = Microbench::new("sim");
+    let mut throughput: Vec<(String, f64)> = Vec::new();
+    let mut splice_rates: Vec<(String, usize, usize, usize, usize, u64)> = Vec::new();
+    for name in ["rawdaudio", "g721encode"] {
+        bench_tier(&mut bench, &mut throughput, &mut splice_rates, name, "", true);
+    }
+    for spec in ["rawdaudio@10x", "g721encode@10x"] {
+        bench_tier(&mut bench, &mut throughput, &mut splice_rates, spec, "_xl", false);
     }
     bench.finish();
 
@@ -90,9 +107,9 @@ fn main() {
     }
 
     println!("splice engagement of campaign_{INJECTIONS} (default config):");
-    for (name, total, converged, dead_diff, sdc, saved) in splice_rates {
+    for (spec, total, converged, dead_diff, sdc, saved) in splice_rates {
         println!(
-            "  {name:<14} {total}/{INJECTIONS} spliced (converged {converged}, \
+            "  {spec:<18} {total}/{INJECTIONS} spliced (converged {converged}, \
              dead-diff {dead_diff}, sdc {sdc}); {saved} suffix insts skipped"
         );
     }

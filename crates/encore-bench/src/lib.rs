@@ -129,48 +129,70 @@ pub struct UnknownWorkloads(pub Vec<String>);
 
 impl std::fmt::Display for UnknownWorkloads {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let accepted = format!(
+            "known workloads: {}; also accepted: suite selectors ({}) and `name@Nx` \
+             scaled variants (e.g. `rawdaudio@10x`)",
+            encore_workloads::names().join(", "),
+            encore_workloads::Suite::all().map(|s| s.label()).join(", "),
+        );
         if self.0.is_empty() {
-            return write!(f, "--workloads selected nothing; known workloads: {}",
-                encore_workloads::names().join(", "));
+            return write!(f, "--workloads selected nothing; {accepted}");
         }
         write!(
             f,
-            "unknown workload name{} {}; known workloads: {}",
+            "unknown workload selector{} {}; {accepted}",
             if self.0.len() == 1 { "" } else { "s" },
             self.0.iter().map(|n| format!("`{n}`")).collect::<Vec<_>>().join(", "),
-            encore_workloads::names().join(", ")
         )
     }
 }
 
 impl std::error::Error for UnknownWorkloads {}
 
-/// Resolves a workload-name filter against the full suite, in suite
-/// order. `None` selects everything; any name that matches no workload
-/// is an error (a typo used to silently produce an empty suite and
-/// experiment binaries that printed empty tables).
+/// Resolves a workload filter against the full suite. `None` selects
+/// everything; otherwise each selector is a suite label
+/// (`SPEC2K-INT`, any case), a workload name (paper spelling) or a
+/// scaled spelling `name@Nx` (e.g. `rawdaudio@10x`). Duplicates
+/// collapse and the result is in figure order (scale ascending within
+/// a name) regardless of filter order. Any selector that matches
+/// nothing is an error (a typo used to silently produce an empty suite
+/// and experiment binaries that printed empty tables).
 ///
 /// # Errors
 ///
-/// Returns [`UnknownWorkloads`] listing every unmatched name, or with
-/// an empty list when the filter itself selects nothing.
+/// Returns [`UnknownWorkloads`] listing every unmatched selector, or
+/// with an empty list when the filter itself selects nothing.
 pub fn select_workloads(filter: Option<&[String]>) -> Result<Vec<Workload>, UnknownWorkloads> {
     let all = encore_workloads::all();
-    let Some(names) = filter else { return Ok(all) };
-    let unknown: Vec<String> = names
-        .iter()
-        .filter(|n| !all.iter().any(|w| w.name == n.as_str()))
-        .cloned()
-        .collect();
+    let Some(selectors) = filter else { return Ok(all) };
+    let mut unknown = Vec::new();
+    let mut picked: Vec<Workload> = Vec::new();
+    let push_unique = |w: Workload, picked: &mut Vec<Workload>| {
+        if !picked.iter().any(|p| p.name == w.name && p.scale == w.scale) {
+            picked.push(w);
+        }
+    };
+    for sel in selectors {
+        if let Some(suite) = encore_workloads::Suite::parse(sel) {
+            for w in all.iter().filter(|w| w.suite == suite) {
+                push_unique(w.clone(), &mut picked);
+            }
+        } else if let Some(w) = encore_workloads::by_spec(sel) {
+            push_unique(w, &mut picked);
+        } else {
+            unknown.push(sel.clone());
+        }
+    }
     if !unknown.is_empty() {
         return Err(UnknownWorkloads(unknown));
     }
-    let selected: Vec<Workload> =
-        all.into_iter().filter(|w| names.iter().any(|n| n == w.name)).collect();
-    if selected.is_empty() {
+    if picked.is_empty() {
         return Err(UnknownWorkloads(Vec::new()));
     }
-    Ok(selected)
+    picked.sort_by_key(|w| {
+        (all.iter().position(|a| a.name == w.name).unwrap_or(usize::MAX), w.scale)
+    });
+    Ok(picked)
 }
 
 /// Applies the `--workloads` argv filter to the full suite, exiting
@@ -215,6 +237,41 @@ mod tests {
         let err = select_workloads(Some(&[])).expect_err("empty filter must error");
         assert!(err.0.is_empty());
         assert!(err.to_string().contains("selected nothing"));
+    }
+
+    #[test]
+    fn select_workloads_accepts_suites_and_scaled_specs() {
+        // A suite selector expands to that suite, in figure order.
+        let sel = vec!["MEDIABENCH".to_string()];
+        let media = select_workloads(Some(&sel)).expect("suite selector");
+        let expected: Vec<&str> = encore_workloads::all()
+            .iter()
+            .filter(|w| w.suite == encore_workloads::Suite::Mediabench)
+            .map(|w| w.name)
+            .collect();
+        assert_eq!(media.iter().map(|w| w.name).collect::<Vec<_>>(), expected);
+
+        // `name@Nx` selects a scaled variant; a suite plus one of its
+        // members at a different scale dedupes by (name, scale) and
+        // sorts scale-ascending within the name.
+        let sel = vec![
+            "rawdaudio@10x".to_string(),
+            "mediabench".to_string(),
+            "rawdaudio@10x".to_string(),
+        ];
+        let picked = select_workloads(Some(&sel)).expect("suite + scaled spec");
+        assert_eq!(picked.len(), expected.len() + 1);
+        let specs: Vec<String> = picked.iter().map(|w| w.spec()).collect();
+        let base = specs.iter().position(|s| s == "rawdaudio").expect("1x present");
+        assert_eq!(specs[base + 1], "rawdaudio@10x");
+
+        // Malformed scale suffixes are unknown selectors, and the error
+        // advertises the accepted spellings.
+        let bad = vec!["rawdaudio@0x".to_string(), "rawdaudio@tenx".to_string()];
+        let err = select_workloads(Some(&bad)).expect_err("bad specs must error");
+        assert_eq!(err.0, bad);
+        let msg = err.to_string();
+        assert!(msg.contains("name@Nx") && msg.contains("MEDIABENCH"));
     }
 
     #[test]

@@ -242,21 +242,22 @@ pub fn cmd_print(text: &str) -> Result<String, CliError> {
     Ok(load_module(text)?.to_string())
 }
 
-/// `demo`: export a suite workload as `.eir` text.
+/// `demo`: export a suite workload as `.eir` text. Accepts either a
+/// plain workload name or a size-scaled spec like `rawdaudio@10x`.
 ///
 /// # Errors
 ///
-/// Fails for unknown workload names.
+/// Fails for unknown workload names or malformed specs.
 pub fn cmd_demo(name: &str) -> Result<String, CliError> {
-    let w = encore_workloads::by_name(name).ok_or_else(|| {
+    let w = encore_workloads::by_spec(name).ok_or_else(|| {
         err(format!(
-            "unknown workload `{name}`; available: {}",
+            "unknown workload `{name}`; available: {} (append `@Nx` for a scaled variant, e.g. `rawdaudio@10x`)",
             encore_workloads::names().join(", ")
         ))
     })?;
     Ok(format!(
         "# workload {} ({}): {}\n# entry: {} — run with --entry or default (last function)\n# suggested: --train-arg {} --eval-arg {}\n{}",
-        w.name,
+        w.spec(),
         w.suite,
         w.description,
         w.module.func(w.entry).name,
@@ -471,7 +472,7 @@ COMMANDS:
     opt      <file>   run constfold/copyprop/DCE/LICM/simplify-cfg
     sfi      <file>   Monte-Carlo fault-injection campaign
     dot      <file>   Graphviz CFG with region overlay
-    demo     <name>   export a suite workload as .eir
+    demo     <name>   export a suite workload as .eir (name or name@Nx, e.g. rawdaudio@10x)
     list              list suite workload names
 
 FLAGS:
@@ -557,6 +558,19 @@ mod tests {
             let module = load_module(&text).expect("round-trips");
             assert!(!module.funcs.is_empty());
         }
+    }
+
+    #[test]
+    fn demo_accepts_scaled_specs() {
+        let text = demo_text("rawdaudio@10x");
+        assert!(text.starts_with("# workload rawdaudio@10x"));
+        let module = load_module(&text).expect("round-trips");
+        let base = load_module(&demo_text("rawdaudio")).expect("round-trips");
+        let cells = |m: &encore_ir::Module| m.globals.iter().map(|g| u64::from(g.cells)).sum::<u64>();
+        assert_eq!(cells(&module), 10 * cells(&base));
+
+        let err = cmd_demo("rawdaudio@0x").expect_err("zero scale is invalid");
+        assert!(err.to_string().contains("@Nx"));
     }
 
     #[test]

@@ -429,6 +429,32 @@ impl FunctionBuilder<'_> {
         );
     }
 
+    /// Materializes `cond ? then_val : else_val` into a fresh register
+    /// via a diamond — the IR has no select instruction, so this is the
+    /// canonical way to build branchy data flow. Continues at the join.
+    pub fn select(&mut self, cond: Operand, then_val: Operand, else_val: Operand) -> Reg {
+        let dst = self.reg();
+        self.if_else(
+            cond,
+            |f| f.mov_to(dst, then_val),
+            |f| f.mov_to(dst, else_val),
+        );
+        dst
+    }
+
+    /// Masks `raw` into `[0, len)` for use as a dynamic index into an
+    /// object of `len` cells. Every dynamically indexed access in the
+    /// workload suite bounds its index this way; the mask is only a
+    /// bound when `len` is a power of two, which is asserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is not a positive power of two.
+    pub fn bounded_index(&mut self, raw: Operand, len: i64) -> Reg {
+        assert!(len > 0 && (len & (len - 1)) == 0, "len must be a power of two");
+        self.bin(BinOp::And, raw, Operand::ImmI(len - 1))
+    }
+
     /// Read-only view of the function under construction.
     pub fn func(&self) -> &Function {
         &self.func
@@ -547,6 +573,50 @@ mod tests {
             let b = f.current();
             f.ret(None);
             f.switch_to(b);
+            f.ret(None);
+        });
+    }
+
+    #[test]
+    fn select_builds_a_diamond_into_one_register() {
+        let mut mb = ModuleBuilder::new("m");
+        mb.function("f", 1, |f| {
+            let p = f.param(0);
+            let r = f.select(p.into(), Operand::ImmI(7), Operand::ImmI(9));
+            f.ret(Some(r.into()));
+        });
+        let m = mb.finish();
+        verify_module(&m).expect("verifies");
+        // entry + then + else + join = 4 blocks, both arms write r.
+        assert_eq!(m.funcs[0].blocks.len(), 4);
+    }
+
+    #[test]
+    fn bounded_index_masks_with_len_minus_one() {
+        let mut mb = ModuleBuilder::new("m");
+        mb.function("f", 1, |f| {
+            let p = f.param(0);
+            let i = f.bounded_index(p.into(), 16);
+            f.ret(Some(i.into()));
+        });
+        let m = mb.finish();
+        verify_module(&m).expect("verifies");
+        let masked = m.funcs[0].iter_insts().any(|(_, i)| {
+            matches!(
+                i,
+                crate::inst::Inst::Bin { op: BinOp::And, rhs: Operand::ImmI(15), .. }
+            )
+        });
+        assert!(masked);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bounded_index_rejects_non_power_of_two() {
+        let mut mb = ModuleBuilder::new("m");
+        mb.function("f", 1, |f| {
+            let p = f.param(0);
+            f.bounded_index(p.into(), 12);
             f.ret(None);
         });
     }

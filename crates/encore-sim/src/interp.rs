@@ -287,6 +287,13 @@ struct FaultState {
 
 /// Which early-exit rule certified a spliced run's outcome.
 ///
+/// Residual-diff size cap for the divergence splice: a run diverging
+/// from the golden snapshot in more than this many cells is not worth
+/// scanning suffix summaries for (and is very unlikely to be dead), so
+/// [`Memory::diff_cells`](crate::Memory::diff_cells) reports it as
+/// incomparable and the run falls back to plain execution.
+pub const DIFF_CAP: usize = 64;
+
 /// All three rules fire at a probe point where the run's control state
 /// (frames, allocation counters, extern PRNG/clock) equals a golden
 /// snapshot's at the realigned position — they differ only in what the
@@ -1628,11 +1635,6 @@ impl<'m, 'c> Machine<'m, 'c> {
         snap: &Snapshot,
         diff: &mut Vec<(u32, u32)>,
     ) -> Option<SpliceRule> {
-        /// Residual-diff size cap: a run diverging in more cells than
-        /// this is not worth scanning summaries for (and is very
-        /// unlikely to be dead); the probe backoff bounds the total
-        /// compare cost either way.
-        const DIFF_CAP: usize = 64;
         // Cheapest fields first so diverged runs fail fast.
         if self.frame_seq != snap.frame_seq
             || self.heap_seq != snap.heap_seq

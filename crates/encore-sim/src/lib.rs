@@ -48,7 +48,7 @@ mod value;
 pub use externs::Externs;
 pub use interp::{
     resume_function, run_function, run_function_with_snapshots, FaultPlan, FaultTelemetry,
-    RunConfig, RunResult, SpliceRule, Trap, TrapKind,
+    RunConfig, RunResult, SpliceRule, Trap, TrapKind, DIFF_CAP,
 };
 pub use masking::{ComposedCoverage, MaskingModel};
 pub use memory::{MemError, MemObject, Memory};

@@ -282,6 +282,59 @@ mod tests {
         assert!(!a.diff_cells(&c, 8, &mut out));
     }
 
+    /// The capped → incomparable transition at exactly the splice's
+    /// `DIFF_CAP`: a diff of `DIFF_CAP` cells is still a complete,
+    /// classifiable diff; one more cell makes the pair incomparable.
+    #[test]
+    fn diff_cells_boundary_at_splice_diff_cap() {
+        use crate::interp::DIFF_CAP;
+        let mut mb = ModuleBuilder::new("m");
+        mb.global("wide", (DIFF_CAP + 8) as u32);
+        let module = mb.finish();
+        let mut a = Memory::for_module(&module);
+        let b = Memory::for_module(&module);
+        let mut out = Vec::new();
+
+        // Exactly DIFF_CAP diverged words: complete diff, all enumerated.
+        for i in 0..DIFF_CAP {
+            a.write(0, i as i64, Value::Int(1 + i as i64)).unwrap();
+        }
+        assert!(a.diff_cells(&b, DIFF_CAP, &mut out), "diff at cap must stay comparable");
+        assert_eq!(out.len(), DIFF_CAP);
+        assert_eq!(out.first(), Some(&(0, 0)));
+        assert_eq!(out.last(), Some(&(0, (DIFF_CAP - 1) as u32)));
+
+        // DIFF_CAP + 1 diverged words: incomparable, not truncated.
+        a.write(0, DIFF_CAP as i64, Value::Int(-7)).unwrap();
+        assert!(!a.diff_cells(&b, DIFF_CAP, &mut out), "diff past cap must be incomparable");
+    }
+
+    /// Shape mismatches are incomparable regardless of cell contents:
+    /// differing object counts (an extra allocation), kinds and sizes
+    /// all fail before any cell is compared.
+    #[test]
+    fn diff_cells_shape_mismatches_are_incomparable() {
+        let a = mem();
+        let mut out = vec![(9, 9)];
+        // Extra object on one side.
+        let mut extra = mem();
+        extra.alloc(ObjKind::Heap(0), 2);
+        assert!(!a.diff_cells(&extra, 8, &mut out));
+        assert!(out.is_empty(), "failed compare must leave no stale diff");
+        // Same object count, different kind.
+        let mut heap_a = mem();
+        heap_a.alloc(ObjKind::Heap(0), 2);
+        let mut slot_b = mem();
+        slot_b.alloc(ObjKind::Slot { frame: 0, slot: 0 }, 2);
+        assert!(!heap_a.diff_cells(&slot_b, 8, &mut out));
+        // Same kind, different size.
+        let mut big = mem();
+        big.alloc(ObjKind::Heap(0), 3);
+        assert!(!heap_a.diff_cells(&big, 8, &mut out));
+        // And the symmetric view agrees.
+        assert!(!extra.diff_cells(&a, 8, &mut out));
+    }
+
     #[test]
     fn globals_are_the_leading_objects() {
         let mut m = mem();

@@ -26,10 +26,13 @@
 #![warn(missing_docs)]
 
 mod fpbench;
+pub mod fuzz;
 mod intbench;
 mod mediabench;
+mod scale;
 mod util;
 
+pub use scale::scale_module;
 pub use util::lcg_data;
 
 use encore_ir::{FuncId, Module};
@@ -59,6 +62,19 @@ impl Suite {
     pub fn all() -> [Suite; 3] {
         [Suite::Spec2kInt, Suite::Spec2kFp, Suite::Mediabench]
     }
+
+    /// Parses a suite selector: the figure label (`"SPEC2K-INT"`, any
+    /// case) or its compact spelling (`"spec2kint"`).
+    pub fn parse(s: &str) -> Option<Suite> {
+        let key: String =
+            s.chars().filter(|c| c.is_ascii_alphanumeric()).map(|c| c.to_ascii_lowercase()).collect();
+        match key.as_str() {
+            "spec2kint" => Some(Suite::Spec2kInt),
+            "spec2kfp" => Some(Suite::Spec2kFp),
+            "mediabench" => Some(Suite::Mediabench),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for Suite {
@@ -84,6 +100,43 @@ pub struct Workload {
     pub train_arg: i64,
     /// Entry argument for evaluation runs.
     pub eval_arg: i64,
+    /// Size factor relative to the hand-written kernel (1 = unscaled).
+    pub scale: u32,
+}
+
+impl Workload {
+    /// The workload's addressable spelling: the plain name at scale 1,
+    /// `name@Nx` otherwise (the form [`by_spec`] parses back).
+    pub fn spec(&self) -> String {
+        if self.scale == 1 {
+            self.name.to_string()
+        } else {
+            format!("{}@{}x", self.name, self.scale)
+        }
+    }
+
+    /// A `factor`-times-larger variant of this workload: every global
+    /// grows `factor×` (initial data tiled to match) and both entry
+    /// arguments are multiplied by `factor`, so iteration counts and
+    /// memory footprints scale together. See [`scale_module`] for why
+    /// this is trap-free on the whole suite.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is zero.
+    pub fn scaled(&self, factor: u32) -> Workload {
+        assert!(factor > 0, "scale factor must be positive");
+        if factor == 1 {
+            return self.clone();
+        }
+        Workload {
+            module: scale_module(&self.module, factor),
+            train_arg: self.train_arg * factor as i64,
+            eval_arg: self.eval_arg * factor as i64,
+            scale: self.scale * factor,
+            ..self.clone()
+        }
+    }
 }
 
 macro_rules! workload {
@@ -97,6 +150,7 @@ macro_rules! workload {
             entry,
             train_arg: $train,
             eval_arg: $eval,
+            scale: 1,
         }
     }};
 }
@@ -146,6 +200,32 @@ pub fn by_suite(suite: Suite) -> Vec<Workload> {
     all().into_iter().filter(|w| w.suite == suite).collect()
 }
 
+/// Splits a workload spec into its base name and scale factor: plain
+/// names mean scale 1, `name@Nx` means scale `N` (`N ≥ 1`). Returns
+/// `None` for a malformed scale suffix — the *name* part is not
+/// validated here, so lookup misses can be reported separately.
+pub fn parse_spec(spec: &str) -> Option<(&str, u32)> {
+    let Some((base, suffix)) = spec.rsplit_once('@') else {
+        return Some((spec, 1));
+    };
+    let digits = suffix.strip_suffix('x')?;
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    let factor: u32 = digits.parse().ok()?;
+    if factor == 0 {
+        return None;
+    }
+    Some((base, factor))
+}
+
+/// Builds the workload addressed by `spec`: a plain name (paper
+/// spelling) or the scaled form `name@Nx`, e.g. `rawdaudio@10x`.
+pub fn by_spec(spec: &str) -> Option<Workload> {
+    let (base, factor) = parse_spec(spec)?;
+    Some(by_name(base)?.scaled(factor))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -176,6 +256,36 @@ mod tests {
     fn lookup_by_name() {
         assert!(by_name("rawcaudio").is_some());
         assert!(by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn spec_parsing_and_scaled_lookup() {
+        assert_eq!(parse_spec("rawdaudio"), Some(("rawdaudio", 1)));
+        assert_eq!(parse_spec("rawdaudio@10x"), Some(("rawdaudio", 10)));
+        assert_eq!(parse_spec("164.gzip@100x"), Some(("164.gzip", 100)));
+        assert_eq!(parse_spec("rawdaudio@x"), None);
+        assert_eq!(parse_spec("rawdaudio@0x"), None);
+        assert_eq!(parse_spec("rawdaudio@10"), None);
+        assert_eq!(parse_spec("rawdaudio@ten-x"), None);
+
+        let w = by_spec("rawdaudio@10x").expect("scaled lookup");
+        assert_eq!(w.scale, 10);
+        assert_eq!(w.spec(), "rawdaudio@10x");
+        let base = by_name("rawdaudio").unwrap();
+        assert_eq!(w.train_arg, base.train_arg * 10);
+        assert_eq!(w.eval_arg, base.eval_arg * 10);
+        assert_eq!(by_name("rawdaudio").unwrap().spec(), "rawdaudio");
+        assert!(by_spec("nonexistent@10x").is_none());
+        assert!(by_spec("rawdaudio@0x").is_none());
+    }
+
+    #[test]
+    fn suite_selector_parsing() {
+        assert_eq!(Suite::parse("SPEC2K-INT"), Some(Suite::Spec2kInt));
+        assert_eq!(Suite::parse("spec2kint"), Some(Suite::Spec2kInt));
+        assert_eq!(Suite::parse("spec2k-fp"), Some(Suite::Spec2kFp));
+        assert_eq!(Suite::parse("MediaBench"), Some(Suite::Mediabench));
+        assert_eq!(Suite::parse("rawdaudio"), None);
     }
 
     #[test]

@@ -1,0 +1,133 @@
+//! Size parameterization of the workload corpus.
+//!
+//! The hand-written kernels bake their buffer sizes into global
+//! declarations (e.g. the ADPCM codecs' `N = 256`-cell sample buffers)
+//! and take an entry argument `n ≤ N` that bounds how much of each
+//! buffer one run touches. [`scale_module`] grows a kernel `factor×`
+//! *without rebuilding it*: every global's cell count is multiplied and
+//! its initial data tiled to match, so multiplying the entry arguments
+//! by the same factor (see `Workload::scaled`) yields runs with
+//! `factor×` the iteration count *and* `factor×` the live memory
+//! footprint — the regime where campaign suffix execution, not
+//! pipeline prepare, dominates.
+//!
+//! Why this is trap-free across the whole suite (checked kernel by
+//! kernel, and enforced empirically by the execution test below):
+//!
+//! * **Arg-indexed buffers are linear in the argument.** Every access
+//!   whose index grows with the entry argument `n` was sized as
+//!   `c·N + k` cells with `k ≥ 0` for `n ≤ N` (e.g. mpeg2dec's
+//!   reference frame at `N + 16`); after scaling, the requirement
+//!   `c·(s·n) + k` is still within `s·(c·N + k)` cells.
+//! * **Data-derived indices are bounded by values, not sizes.** Hash
+//!   buckets (`& 63`), grid wraps (`% GRID`) and node ids drawn from
+//!   `lcg_data(.., NODES)` are bounded by baked immediates or by the
+//!   *value range* of the initial data — and tiling replicates values
+//!   verbatim, so the old bounds still hold inside the larger objects.
+//! * **Divisors keep their value range.** Quantization tables etc. are
+//!   tiled, never zero-extended into the region a scaled run reads, so
+//!   no new zero divisor appears on an executed path.
+//!
+//! Trailing cells beyond `init.len() · factor` stay zero, exactly like
+//! the unscaled declaration zero-extends beyond `init.len()` — which
+//! preserves sentinel conventions such as 197.parser's NUL terminator.
+
+use encore_ir::Module;
+
+/// Returns a copy of `m` with every global `factor×` larger and its
+/// initial data tiled `factor×`. Functions are untouched: iteration
+/// counts scale through the entry argument, not the code.
+///
+/// # Panics
+///
+/// Panics if `factor` is zero or a scaled cell count overflows `u32`.
+pub fn scale_module(m: &Module, factor: u32) -> Module {
+    assert!(factor > 0, "scale factor must be positive");
+    let mut out = m.clone();
+    for g in &mut out.globals {
+        g.cells = g
+            .cells
+            .checked_mul(factor)
+            .unwrap_or_else(|| panic!("global `{}`: scaled size overflows", g.name));
+        if !g.init.is_empty() && factor > 1 {
+            let tile = std::mem::take(&mut g.init);
+            g.init = Vec::with_capacity(tile.len() * factor as usize);
+            for _ in 0..factor {
+                g.init.extend_from_slice(&tile);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use encore_ir::verify_module;
+    use encore_sim::{run_function, RunConfig, Value};
+
+    #[test]
+    fn scaling_tiles_init_and_multiplies_cells() {
+        let w = crate::by_name("rawdaudio").expect("workload");
+        let scaled = scale_module(&w.module, 10);
+        verify_module(&scaled).expect("scaled module verifies");
+        assert_eq!(scaled.funcs, w.module.funcs, "functions must be untouched");
+        for (a, b) in w.module.globals.iter().zip(scaled.globals.iter()) {
+            assert_eq!(b.cells, a.cells * 10);
+            assert_eq!(b.init.len(), a.init.len() * 10);
+            if !a.init.is_empty() {
+                assert_eq!(&b.init[..a.init.len()], &a.init[..]);
+                assert_eq!(&b.init[a.init.len()..2 * a.init.len()], &a.init[..]);
+            }
+        }
+    }
+
+    #[test]
+    fn scale_one_is_identity() {
+        let w = crate::by_name("164.gzip").expect("workload");
+        assert_eq!(scale_module(&w.module, 1), w.module);
+    }
+
+    /// The linearity argument above, checked empirically: every kernel's
+    /// 10× variant runs both its arguments to completion, touches more
+    /// memory, and executes more dynamic instructions than at 1×.
+    #[test]
+    fn every_workload_executes_cleanly_at_10x() {
+        for w in crate::all() {
+            let scaled = w.scaled(10);
+            verify_module(&scaled.module)
+                .unwrap_or_else(|e| panic!("{}: {e:?}", scaled.spec()));
+            for (arg, base_arg) in
+                [(scaled.train_arg, w.train_arg), (scaled.eval_arg, w.eval_arg)]
+            {
+                let run = run_function(
+                    &scaled.module,
+                    None,
+                    scaled.entry,
+                    &[Value::Int(arg)],
+                    &RunConfig::default(),
+                );
+                assert!(
+                    run.completed,
+                    "{}: run({arg}) trapped: {:?}",
+                    scaled.spec(),
+                    run.trap
+                );
+                let base = run_function(
+                    &w.module,
+                    None,
+                    w.entry,
+                    &[Value::Int(base_arg)],
+                    &RunConfig::default(),
+                );
+                assert!(
+                    run.dyn_insts > base.dyn_insts,
+                    "{}: {} dyn insts at 10x vs {} at 1x — argument does not scale work",
+                    scaled.spec(),
+                    run.dyn_insts,
+                    base.dyn_insts
+                );
+            }
+        }
+    }
+}

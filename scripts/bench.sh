@@ -3,7 +3,9 @@
 # at the repo root (one JSON object per suite run, appended by the
 # in-repo microbench harness via the ENCORE_BENCH_JSON environment
 # variable): the analysis suite into BENCH_analysis.json and the
-# simulator/SFI-campaign suite into BENCH_sim.json. Set
+# simulator/SFI-campaign suite into BENCH_sim.json (golden_run and
+# campaign_40 rows at 1x, plus the campaign_40_xl tier at 10x data
+# scale). Set
 # ENCORE_BENCH_LABEL to tag the emitted rows (e.g. "baseline" vs
 # "post-change" when comparing in one file); by default rows are
 # labeled with the current git commit so results stay attributable

@@ -35,4 +35,13 @@ echo "==> divergence-splice smoke (fixed seed)"
 cargo test --release -q --offline --test sfi_campaign -- \
     splice_smoke_all_rules_engage splice_never_changes_campaign_results
 
+# Differential fuzz smoke: 64 machine-generated programs (fixed seed —
+# cases are a pure function of the property name and index) through the
+# splice/stride/worker differential property. The acceptance sweep runs
+# 512 cases; 64 here keeps the gate fast while still covering a prefix
+# of the same corpus.
+echo "==> differential fuzz smoke (64 fixed-seed cases)"
+ENCORE_FUZZ_CASES=64 cargo test --release -q --offline --test fuzz_differential -- \
+    fuzzed_campaigns_are_splice_stride_and_worker_invariant
+
 echo "==> OK"

@@ -38,6 +38,12 @@ impl Gen {
         Self { rng: SplitMix64::for_index(seed, index) }
     }
 
+    /// Direct access to the underlying stream, for generators (like the
+    /// workload fuzzer) whose own API is written against [`Rng`].
+    pub fn rng(&mut self) -> &mut SplitMix64 {
+        &mut self.rng
+    }
+
     /// Uniform `usize` in `[0, bound)`.
     pub fn usize(&mut self, bound: usize) -> usize {
         self.rng.gen_usize(bound)

@@ -1,30 +1,46 @@
-//! Printer/parser round-trips for the entire workload suite: every
-//! module in `encore_workloads::all()` must survive `display → parse →
-//! display` unchanged, and the reparsed module must still verify.
+//! Printer/parser round-trips for the entire workload suite, at every
+//! supported size scale: each module in `encore_workloads::all()` —
+//! and its `scaled(10)` / `scaled(100)` variants — must survive
+//! `display → parse → display` unchanged, and the reparsed module must
+//! still verify. Scaling only grows global data, but 100× mediabench
+//! tables are exactly where a printer or parser with a length-dependent
+//! bug would break first.
 
 use encore::ir::{parse_module, verify_module};
+use encore::workloads::Workload;
 
-#[test]
-fn every_workload_round_trips_through_text() {
+/// The scale tiers every suite workload must survive.
+const SCALES: [u32; 3] = [1, 10, 100];
+
+fn scaled_suite() -> Vec<Workload> {
     let suite = encore::workloads::all();
     assert!(!suite.is_empty());
-    for w in &suite {
+    suite
+        .iter()
+        .flat_map(|w| SCALES.iter().map(|&s| w.scaled(s)))
+        .collect()
+}
+
+#[test]
+fn every_workload_round_trips_through_text_at_every_scale() {
+    for w in scaled_suite() {
+        let spec = w.spec();
         let text = w.module.to_string();
         let reparsed = parse_module(&text)
-            .unwrap_or_else(|e| panic!("{}: reparse failed: {e}\n{text}", w.name));
-        assert_eq!(reparsed, w.module, "{}: parse(print(m)) != m", w.name);
-        verify_module(&reparsed).unwrap_or_else(|e| panic!("{}: {e:?}", w.name));
+            .unwrap_or_else(|e| panic!("{spec}: reparse failed: {e}\n{text}"));
+        assert_eq!(reparsed, w.module, "{spec}: parse(print(m)) != m");
+        verify_module(&reparsed).unwrap_or_else(|e| panic!("{spec}: {e:?}"));
     }
 }
 
 #[test]
-fn workload_printing_is_stable() {
+fn workload_printing_is_stable_at_every_scale() {
     // A second print of the reparsed module is byte-identical: the
     // textual form is a fixpoint, so goldens diffed across runs or
     // machines never churn.
-    for w in encore::workloads::all() {
+    for w in scaled_suite() {
         let text = w.module.to_string();
         let reparsed = parse_module(&text).expect("reparse");
-        assert_eq!(text, reparsed.to_string(), "{}: printing is not a fixpoint", w.name);
+        assert_eq!(text, reparsed.to_string(), "{}: printing is not a fixpoint", w.spec());
     }
 }
