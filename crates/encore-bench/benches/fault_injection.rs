@@ -24,7 +24,7 @@ fn bench_single_injection(bench: &mut Microbench) {
             prepared.workload.entry,
             &[Value::Int(prepared.workload.eval_arg)],
             &RunConfig {
-                fault: Some(FaultPlan { inject_at: 100, bit: 5, detect_latency: 3 }),
+                fault: Some(FaultPlan::bit_flip(100, 5, 3)),
                 ..Default::default()
             },
         )
@@ -36,7 +36,7 @@ fn bench_single_injection(bench: &mut Microbench) {
             prepared.workload.entry,
             &[Value::Int(prepared.workload.eval_arg)],
             &RunConfig {
-                fault: Some(FaultPlan { inject_at: 5000, bit: 31, detect_latency: 50 }),
+                fault: Some(FaultPlan::bit_flip(5000, 31, 50)),
                 ..Default::default()
             },
         )

@@ -17,6 +17,12 @@
 //!   campaign speedup comes from checkpoint reuse vs. the interpreter
 //!   itself (1× tier only: from-scratch replay at 10× measures the
 //!   same thing, ten times slower);
+//! * `campaign_40_<model>` — the same campaign under each non-default
+//!   fault model (`multi_bit`, `address`, `control_flow`,
+//!   `power_failure`; 1× tier only), exposing the per-model cost
+//!   profile: deferred-arming models pay for full suffix execution when
+//!   their fault never fires, and power failures detect instantly so
+//!   their runs are rollback-bound;
 //! * `golden_run_xl` / `campaign_40_xl` / `campaign_40_xl_nosplice` —
 //!   the 10× tier, where snapshot capture, the divergence diff and the
 //!   splice's dead-suffix scan all walk ten times the state, so costs
@@ -30,7 +36,7 @@
 use encore_bench::microbench::Microbench;
 use encore_bench::prepare;
 use encore_core::{Encore, EncoreConfig};
-use encore_sim::{run_function, RunConfig, SfiCampaign, SfiConfig, Value};
+use encore_sim::{run_function, FaultModelKind, RunConfig, SfiCampaign, SfiConfig, Value};
 
 const INJECTIONS: usize = 40;
 
@@ -80,6 +86,19 @@ fn bench_tier(
     throughput.push((label, INJECTIONS as f64 / (s.min_ns / 1e9)));
 
     if include_scratch {
+        // Per-model rows (1× tier only; the default model already has
+        // its row above). The prepared campaign is model-agnostic —
+        // only plan sampling changes — so it is shared across models.
+        for model in FaultModelKind::ALL {
+            if model == FaultModelKind::default() {
+                continue;
+            }
+            let modeled = SfiConfig { model, ..snap };
+            let label = format!("campaign_{INJECTIONS}{suffix}_{}/{name}", model.label());
+            let s = bench.bench(&label, || campaign.run(&modeled));
+            throughput.push((label, INJECTIONS as f64 / (s.min_ns / 1e9)));
+        }
+
         let scratch = SfiConfig { snapshot_stride: 0, ..snap };
         let campaign = SfiCampaign::prepare(module, map, entry, &args, &scratch)
             .expect("golden run completes");

@@ -10,12 +10,16 @@
 //! 4. **Pmin pruning** (§3.4.1): disabling pruning leaves cold
 //!    diagnostics poisoning otherwise protectable regions.
 //!
-//! Usage: `ablations [--workloads a,b,c] [--sfi N]`
+//! Usage: `ablations [--workloads a,b,c] [--sfi N] [--fault-model M]`
+//! — `M` selects the fault model campaigns sample from (`bit-flip`,
+//! `multi-bit`, `address`, `control-flow`, `power-failure`; default
+//! `bit-flip`), so each ablation's coverage cost can be measured under
+//! any member of the taxonomy.
 
 use encore_bench::report::{banner, pct, Table};
 use encore_bench::{encore_run, prepare, selected_workloads};
 use encore_core::EncoreConfig;
-use encore_sim::{SfiCampaign, SfiConfig, Value};
+use encore_sim::{FaultModelKind, SfiCampaign, SfiConfig, Value};
 
 const DEFAULT_SUBSET: [&str; 5] = ["164.gzip", "rawcaudio", "172.mgrid", "183.equake", "cjpeg"];
 
@@ -28,10 +32,32 @@ fn sfi_n() -> usize {
         .unwrap_or(150)
 }
 
+fn fault_model() -> FaultModelKind {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--fault-model")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| {
+            FaultModelKind::parse(s).unwrap_or_else(|| {
+                eprintln!(
+                    "error: unknown fault model `{s}`; available: {}",
+                    FaultModelKind::ALL
+                        .iter()
+                        .map(|m| m.name())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                );
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or_default()
+}
 
 fn main() {
     banner("Ablation study (SFI-measured)");
     let injections = sfi_n();
+    let model = fault_model();
+    println!("fault model: {model}");
 
     let configs: [(&str, EncoreConfig); 5] = [
         ("baseline", EncoreConfig::default()),
@@ -67,7 +93,7 @@ fn main() {
         let mut cached: Option<(usize, SfiCampaign)> = None;
         let mut baseline_safe = None;
         for (i, (label, config, run)) in runs.iter().enumerate() {
-            let sfi = SfiConfig { injections, dmax: config.dmax, ..Default::default() };
+            let sfi = SfiConfig { injections, dmax: config.dmax, model, ..Default::default() };
             let reusable = cached.as_ref().is_some_and(|&(j, _)| {
                 runs[j].2.outcome.instrumented.module == run.outcome.instrumented.module
                     && runs[j].2.outcome.instrumented.map == run.outcome.instrumented.map

@@ -4,8 +4,11 @@
 //! model (α of Eq. 7 per region).
 //!
 //! With `--sfi N` the analytic model is cross-validated by N real
-//! Monte-Carlo fault injections per workload in the interpreter
-//! (bit flips + detection latency + actual rollback).
+//! Monte-Carlo fault injections per workload in the interpreter, one
+//! campaign per fault model in the taxonomy (bit flip, multi-bit,
+//! address, control-flow wrong-edge, power failure) — per-model
+//! coverage rows show how Encore's recovery holds up beyond the classic
+//! single-bit flip.
 //!
 //! Usage: `fig8 [--workloads a,b,c] [--sfi N] [--seed S] [--workers W]
 //! [--snapshot-stride K]` — `K` controls how often the golden run is
@@ -15,7 +18,7 @@
 use encore_bench::report::{banner, pct, Table};
 use encore_bench::{encore_run, prepare, selected_workloads};
 use encore_core::EncoreConfig;
-use encore_sim::{MaskingModel, SfiCampaign, SfiConfig, Value};
+use encore_sim::{FaultModelKind, MaskingModel, SfiCampaign, SfiConfig, Value};
 use encore_workloads::Suite;
 
 const DMAXES: [u64; 3] = [1000, 100, 10];
@@ -48,7 +51,7 @@ fn main() {
     let mut suite_acc: std::collections::BTreeMap<(Suite, u64), (f64, usize)> =
         Default::default();
     let mut sfi_table = Table::new(&[
-        "workload", "Dmax", "benign", "recovered", "SDC", "unrecov", "safe",
+        "workload", "Dmax", "model", "benign", "recovered", "SDC", "unrecov", "safe",
     ]);
 
     for w in selected_workloads() {
@@ -107,17 +110,20 @@ fn main() {
                     cached = Some((i, campaign));
                 }
                 let campaign = &cached.as_ref().expect("campaign just cached").1;
-                let stats = campaign.run(&sfi_config);
-                let composed = MaskingModel::arm926().compose(&stats);
-                sfi_table.row(vec![
-                    name.to_string(),
-                    dmax.to_string(),
-                    stats.benign.to_string(),
-                    stats.recovered.to_string(),
-                    stats.silent_corruption.to_string(),
-                    (stats.detected_unrecoverable + stats.crashed + stats.hung).to_string(),
-                    pct(composed.total()),
-                ]);
+                for report in campaign.run_models(&sfi_config, &FaultModelKind::ALL) {
+                    let stats = report.stats;
+                    let composed = MaskingModel::arm926().compose(&stats);
+                    sfi_table.row(vec![
+                        name.to_string(),
+                        dmax.to_string(),
+                        report.model().to_string(),
+                        stats.benign.to_string(),
+                        stats.recovered.to_string(),
+                        stats.silent_corruption.to_string(),
+                        (stats.detected_unrecoverable + stats.crashed + stats.hung).to_string(),
+                        pct(composed.total()),
+                    ]);
+                }
             }
         }
     }
@@ -140,7 +146,9 @@ fn main() {
     println!("{}", means.render());
 
     if sfi_n > 0 {
-        println!("SFI cross-validation ({sfi_n} injections/workload, masking composed):");
+        println!(
+            "SFI cross-validation ({sfi_n} injections/workload/model, masking composed):"
+        );
         println!("{}", sfi_table.render());
     }
     println!(

@@ -98,8 +98,15 @@ pub fn campaign_json(workload: &str, report: &CampaignReport) -> String {
     out.push_str(&format!(
         "  \"config\": {{\"injections\": {}, \"dmax\": {}, \"seed\": {}, \
          \"fuel_factor\": {}, \"workers\": {}, \"snapshot_stride\": {}, \
-         \"splice\": {}}},\n",
-        c.injections, c.dmax, c.seed, c.fuel_factor, c.workers, c.snapshot_stride, c.splice
+         \"splice\": {}, \"fault_model\": \"{}\"}},\n",
+        c.injections,
+        c.dmax,
+        c.seed,
+        c.fuel_factor,
+        c.workers,
+        c.snapshot_stride,
+        c.splice,
+        c.model.label()
     ));
     out.push_str("  \"outcomes\": {");
     for (i, o) in FaultOutcome::ALL.iter().enumerate() {
@@ -200,6 +207,29 @@ pub fn splice_table(injections: usize, splice: &SpliceStats) -> Table {
     table
 }
 
+/// Tabulates per-model outcome rows from one campaign report per fault
+/// model (as produced by `SfiCampaign::run_models`): outcome counts and
+/// the safe fraction, one row per model.
+pub fn model_table(reports: &[CampaignReport]) -> Table {
+    let mut table = Table::new(&[
+        "model", "benign", "recovered", "SDC", "unrecov", "crashed", "hung", "safe",
+    ]);
+    for report in reports {
+        let s = &report.stats;
+        table.row(vec![
+            report.model().to_string(),
+            s.benign.to_string(),
+            s.recovered.to_string(),
+            s.silent_corruption.to_string(),
+            s.detected_unrecoverable.to_string(),
+            s.crashed.to_string(),
+            s.hung.to_string(),
+            pct(s.safe_fraction()),
+        ]);
+    }
+    table
+}
+
 /// Formats a fraction as a percentage with one decimal.
 pub fn pct(x: f64) -> String {
     format!("{:.1}%", x * 100.0)
@@ -247,18 +277,9 @@ mod tests {
         use encore_sim::{FaultPlan, SfiConfig};
         let config = SfiConfig { injections: 3, dmax: 15, seed: 9, ..Default::default() };
         let mut report = CampaignReport::new(config);
-        report.record(
-            FaultPlan { inject_at: 0, bit: 0, detect_latency: 0 },
-            FaultOutcome::Recovered,
-        );
-        report.record(
-            FaultPlan { inject_at: 1, bit: 1, detect_latency: 7 },
-            FaultOutcome::Benign,
-        );
-        report.record(
-            FaultPlan { inject_at: 2, bit: 2, detect_latency: 15 },
-            FaultOutcome::SilentCorruption,
-        );
+        report.record(FaultPlan::bit_flip(0, 0, 0), FaultOutcome::Recovered);
+        report.record(FaultPlan::bit_flip(1, 1, 7), FaultOutcome::Benign);
+        report.record(FaultPlan::bit_flip(2, 2, 15), FaultOutcome::SilentCorruption);
         report
     }
 
@@ -270,6 +291,7 @@ mod tests {
             "\"seed\": 9",
             "\"snapshot_stride\":",
             "\"splice\": true",
+            "\"fault_model\": \"bit_flip\"",
             "\"recovered\": 1",
             "\"benign\": 1",
             "\"silent_corruption\": 1",
@@ -293,6 +315,21 @@ mod tests {
         assert!(rendered.contains("sdc"), "{rendered}");
         assert!(rendered.contains("80.0%"), "total share missing:\n{rendered}");
         assert!(rendered.contains("900"), "{rendered}");
+    }
+
+    #[test]
+    fn model_table_has_one_row_per_report() {
+        use encore_sim::{FaultModelKind, SfiConfig};
+        let reports: Vec<CampaignReport> = FaultModelKind::ALL
+            .iter()
+            .map(|&model| CampaignReport::new(SfiConfig { model, ..Default::default() }))
+            .collect();
+        let rendered = model_table(&reports).render();
+        // Header + separator + one row per model.
+        assert_eq!(rendered.lines().count(), 2 + FaultModelKind::ALL.len(), "{rendered}");
+        for model in FaultModelKind::ALL {
+            assert!(rendered.contains(model.name()), "missing {model} row:\n{rendered}");
+        }
     }
 
     #[test]

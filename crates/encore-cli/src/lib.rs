@@ -20,7 +20,9 @@
 
 use encore_core::{dot_regions, Encore, EncoreConfig, EncoreOutcome};
 use encore_ir::{parse_module, verify_module, FuncId, Module};
-use encore_sim::{run_function, MaskingModel, RunConfig, SfiCampaign, SfiConfig, Value};
+use encore_sim::{
+    run_function, FaultModelKind, MaskingModel, RunConfig, SfiCampaign, SfiConfig, Value,
+};
 use std::fmt::Write as _;
 
 /// A CLI-level error (bad arguments, parse/verify failures, runtime
@@ -73,6 +75,9 @@ pub struct Options {
     /// disables it). A pure performance knob: outcomes and latency
     /// histograms are bit-identical either way.
     pub splice: bool,
+    /// Fault model `sfi` samples plans from (`--fault-model`; default
+    /// `bit-flip`).
+    pub fault_model: FaultModelKind,
     /// Output path for commands that write files.
     pub output: Option<String>,
 }
@@ -92,6 +97,7 @@ impl Default for Options {
             snapshot_stride: SfiConfig::default().snapshot_stride,
             analysis_workers: 0,
             splice: true,
+            fault_model: FaultModelKind::BitFlip,
             output: None,
         }
     }
@@ -162,6 +168,19 @@ impl Options {
                         .map_err(|e| err(format!("--analysis-workers: {e}")))?
                 }
                 "--no-splice" => opts.splice = false,
+                "--fault-model" => {
+                    let v = take("--fault-model")?;
+                    opts.fault_model = FaultModelKind::parse(v).ok_or_else(|| {
+                        err(format!(
+                            "--fault-model: unknown model `{v}`; available: {}",
+                            FaultModelKind::ALL
+                                .iter()
+                                .map(|m| m.name())
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        ))
+                    })?;
+                }
                 "-o" | "--output" => opts.output = Some(take("-o")?.clone()),
                 flag if flag.starts_with('-') => {
                     return Err(err(format!("unknown flag `{flag}`")))
@@ -391,6 +410,7 @@ pub fn cmd_sfi(text: &str, opts: &Options) -> Result<String, CliError> {
         workers: opts.workers,
         snapshot_stride: opts.snapshot_stride,
         splice: opts.splice,
+        model: opts.fault_model,
         ..Default::default()
     };
     let campaign = SfiCampaign::prepare(
@@ -412,6 +432,7 @@ pub fn cmd_sfi(text: &str, opts: &Options) -> Result<String, CliError> {
         sfi.seed,
         sfi.effective_workers()
     );
+    let _ = writeln!(out, "fault model:              {}", sfi.model);
     let _ = writeln!(out, "injections:               {}", stats.injections);
     let _ = writeln!(out, "benign (sw-masked):       {}", stats.benign);
     let _ = writeln!(out, "recovered by rollback:    {}", stats.recovered);
@@ -497,6 +518,8 @@ FLAGS:
                         runs provably converged, dead-diff recovered or
                         silently corrupt); outcomes and latencies are
                         bit-identical with or without it
+    --fault-model M     sfi fault model: bit-flip (default), multi-bit,
+                        address, control-flow, power-failure
     -o, --output PATH   write output to a file
 "
     .to_string()
@@ -697,6 +720,30 @@ mod tests {
             s.lines().filter(|l| !l.starts_with("spliced")).collect::<Vec<_>>().join("\n")
         };
         assert_eq!(strip(&spliced), strip(&plain));
+    }
+
+    #[test]
+    fn sfi_fault_model_flag_selects_each_model() {
+        let text = demo_text("rawcaudio");
+        for model in FaultModelKind::ALL {
+            let (_, opts) = Options::parse(&[
+                "--train-arg".into(),
+                "64".into(),
+                "--eval-arg".into(),
+                "96".into(),
+                "--injections".into(),
+                "10".into(),
+                "--fault-model".into(),
+                model.name().into(),
+            ])
+            .unwrap();
+            assert_eq!(opts.fault_model, model);
+            let out = cmd_sfi(&text, &opts).expect("campaign runs");
+            assert!(out.contains(&format!("fault model:              {model}")), "{out}");
+            assert!(out.contains("injections:               10"), "{out}");
+        }
+        let e = Options::parse(&["--fault-model".into(), "cosmic-ray".into()]).unwrap_err();
+        assert!(e.to_string().contains("unknown model"));
     }
 
     #[test]

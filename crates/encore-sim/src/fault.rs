@@ -1,0 +1,462 @@
+//! The pluggable transient-fault taxonomy.
+//!
+//! Everything the injector knows about *what a fault does* lives here.
+//! A [`FaultModel`] owns plan sampling — each [`FaultPlan`] is a pure
+//! function of the campaign seed and the injection index (the caller
+//! derives the stream with [`SplitMix64::for_index`]), so campaigns
+//! stay bit-reproducible at any worker count no matter which model is
+//! selected. Each plan carries a [`FaultAction`] the interpreter
+//! dispatches on at its injection sites; the action, not the model,
+//! is what the machine executes, so replaying a single plan needs no
+//! model object at all.
+//!
+//! The built-in models, selected by [`FaultModelKind`]:
+//!
+//! | model | action | provenance |
+//! |---|---|---|
+//! | `bit-flip` | flip one bit of a produced value | the paper's §4.2.1 SEU model |
+//! | `multi-bit` | flip a 2–4 bit adjacent burst of a produced value | spatially-correlated upsets |
+//! | `address` | corrupt the resolved cell index of a load/store | address-path faults |
+//! | `control-flow` | take the wrong edge of a conditional branch | Khoshavi et al.'s control-flow errors |
+//! | `power-failure` | execution dies mid-region; volatile registers are lost and the run restarts from the armed recovery block | Choi et al.'s intermittent computation |
+//!
+//! # Splice soundness per model
+//!
+//! The divergence splice's certification argument (DESIGN.md §12) is
+//! *state-based*: a rule only fires at a probe where the run's complete
+//! control state equals a golden snapshot's and no fault is pending, and
+//! equal state implies an identical future under the deterministic
+//! interpreter regardless of how the state was reached. That argument is
+//! independent of the fault model — it holds for deferred corruptions
+//! (an armed-but-never-fired wrong-edge or address fault keeps
+//! `fault.is_some()` true forever, so no probe can certify, which is the
+//! conservative direction) and for power failures (whose zeroed
+//! volatile registers either get rewritten, restoring state equality, or
+//! keep every probe failing). [`FaultModel::splice_sound`] encodes the
+//! audit decision per model and [`FaultAction::splice_certifiable`]
+//! gates the splice at run time; the differential tests
+//! (`tests/fuzz_differential.rs`, `tests/sfi_campaign.rs`) enforce the
+//! claim per model rather than trusting this comment.
+
+use crate::rng::Rng;
+
+/// What the injected fault does when it fires.
+///
+/// Sampled into a [`FaultPlan`] by a [`FaultModel`]; dispatched by the
+/// interpreter at its injection sites.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum FaultAction {
+    /// XOR `mask` into the 64-bit representation of the value produced
+    /// by the `inject_at`-th eligible instruction (single- or
+    /// multi-bit value corruption; pointers fold the mask into their
+    /// cell index — see [`Value::flip_bits`](crate::Value::flip_bits)).
+    FlipBits {
+        /// Bits to flip.
+        mask: u64,
+    },
+    /// Arm at the `inject_at`-th eligible instruction; the next
+    /// conditional branch then transfers along the *wrong* edge
+    /// (then↔else). A run that executes no further branch never
+    /// injects (the fault lands in branch-free straight-line code).
+    WrongEdge,
+    /// Arm at the `inject_at`-th eligible instruction; the next program
+    /// load or store then XORs the (16-bit-folded) `mask` into its
+    /// resolved cell index. Instrumentation accesses (checkpoint reads,
+    /// restore writes) are exempt — the recovery log is assumed
+    /// ECC-protected, as the paper assumes for its own metadata.
+    CorruptAddress {
+        /// Bits to flip in the resolved cell index (folded to 16 bits).
+        mask: u64,
+    },
+    /// Power is cut immediately after the `inject_at`-th eligible
+    /// instruction retires: detection is instantaneous, the volatile
+    /// register file of the frame the recovery unwinds into is cleared
+    /// (memory persists — an NVRAM machine), and execution restarts
+    /// from the armed recovery block, whose `Restore` re-applies the
+    /// checkpoint log. With no armed region the device simply dies:
+    /// `DetectedUnrecoverable`.
+    PowerFailure,
+}
+
+impl FaultAction {
+    /// Whether the divergence splice may certify runs injected with
+    /// this action. `true` for every built-in action (see the module
+    /// docs for the argument); a future action that breaks the
+    /// state-equality argument returns `false` here and
+    /// [`SfiCampaign`](crate::SfiCampaign) falls back to full
+    /// execution for its runs.
+    #[must_use]
+    pub fn splice_certifiable(self) -> bool {
+        match self {
+            FaultAction::FlipBits { .. }
+            | FaultAction::WrongEdge
+            | FaultAction::CorruptAddress { .. }
+            | FaultAction::PowerFailure => true,
+        }
+    }
+}
+
+/// A planned transient fault: at the `inject_at`-th *eligible* dynamic
+/// instruction (value-producing or store), perform `action`, detected
+/// `detect_latency` dynamic instructions after the action fires (`l` of
+/// Eq. 6). Deferred actions ([`FaultAction::WrongEdge`],
+/// [`FaultAction::CorruptAddress`]) arm at the ordinal and fire at the
+/// next matching event; their latency counts from the firing point.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct FaultPlan {
+    /// Eligible-instruction ordinal to inject at.
+    pub inject_at: u64,
+    /// What the fault does.
+    pub action: FaultAction,
+    /// Detection latency in dynamic instructions (`l` of Eq. 6).
+    pub detect_latency: u64,
+}
+
+impl FaultPlan {
+    /// The legacy single-bit-flip plan: flip `bit` (0–63) of the value
+    /// produced by the `inject_at`-th eligible instruction.
+    #[must_use]
+    pub fn bit_flip(inject_at: u64, bit: u8, detect_latency: u64) -> Self {
+        Self {
+            inject_at,
+            action: FaultAction::FlipBits { mask: 1u64 << (bit % 64) },
+            detect_latency,
+        }
+    }
+}
+
+/// A fault model: owns the sampling of [`FaultPlan`]s and the per-model
+/// splice-soundness decision.
+///
+/// Implementations must keep [`FaultModel::sample`] a pure function of
+/// the `rng` stream (and its `eligible_insts`/`dmax` arguments): the
+/// campaign derives one independent stream per `(seed, index)` pair, so
+/// purity here is what makes campaigns bit-reproducible at any worker
+/// count and lets any single injection be replayed in isolation.
+pub trait FaultModel: Sync {
+    /// The selector this model implements.
+    fn kind(&self) -> FaultModelKind;
+
+    /// Samples one plan from `rng`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `eligible_insts == 0`: an empty golden run has no
+    /// sample space. [`SfiCampaign::prepare`](crate::SfiCampaign)
+    /// surfaces that case as
+    /// [`GoldenRunError::NoEligibleInstructions`](crate::GoldenRunError)
+    /// before any plan is drawn.
+    fn sample(&self, rng: &mut dyn Rng, eligible_insts: u64, dmax: u64) -> FaultPlan;
+
+    /// Whether every action this model samples is splice-certifiable
+    /// (must agree with [`FaultAction::splice_certifiable`] on every
+    /// plan the model can produce — enforced by test, not by trust).
+    fn splice_sound(&self) -> bool;
+}
+
+/// The classic single-event-upset model: one uniformly chosen bit of
+/// the value produced by a uniformly chosen eligible instruction,
+/// detection latency uniform on `[0, dmax]`. The default model; its
+/// draw order reproduces the pre-taxonomy injector bit for bit.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BitFlip;
+
+impl FaultModel for BitFlip {
+    fn kind(&self) -> FaultModelKind {
+        FaultModelKind::BitFlip
+    }
+
+    fn sample(&self, rng: &mut dyn Rng, eligible_insts: u64, dmax: u64) -> FaultPlan {
+        FaultPlan {
+            inject_at: rng.gen_below(eligible_insts),
+            action: FaultAction::FlipBits { mask: 1u64 << rng.gen_below(64) },
+            detect_latency: rng.gen_range_inclusive(0, dmax),
+        }
+    }
+
+    fn splice_sound(&self) -> bool {
+        true
+    }
+}
+
+/// Spatially-correlated multi-bit upset: a burst of 2–4 adjacent bits
+/// (wrapping at bit 63) of one produced value.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MultiBitFlip;
+
+impl FaultModel for MultiBitFlip {
+    fn kind(&self) -> FaultModelKind {
+        FaultModelKind::MultiBit
+    }
+
+    fn sample(&self, rng: &mut dyn Rng, eligible_insts: u64, dmax: u64) -> FaultPlan {
+        let inject_at = rng.gen_below(eligible_insts);
+        let width = 2 + rng.gen_below(3); // 2..=4 adjacent bits
+        let pos = rng.gen_below(64) as u32;
+        let mask = ((1u64 << width) - 1).rotate_left(pos);
+        FaultPlan {
+            inject_at,
+            action: FaultAction::FlipBits { mask },
+            detect_latency: rng.gen_range_inclusive(0, dmax),
+        }
+    }
+
+    fn splice_sound(&self) -> bool {
+        true
+    }
+}
+
+/// Address-path fault: one bit of the resolved cell index of the first
+/// program load/store after the arming point. Strays either land in
+/// bounds (corrupting a neighbour cell) or trap — a symptom the
+/// detection path converts into a rollback.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AddressCorruption;
+
+impl FaultModel for AddressCorruption {
+    fn kind(&self) -> FaultModelKind {
+        FaultModelKind::Address
+    }
+
+    fn sample(&self, rng: &mut dyn Rng, eligible_insts: u64, dmax: u64) -> FaultPlan {
+        FaultPlan {
+            inject_at: rng.gen_below(eligible_insts),
+            action: FaultAction::CorruptAddress { mask: 1u64 << rng.gen_below(16) },
+            detect_latency: rng.gen_range_inclusive(0, dmax),
+        }
+    }
+
+    fn splice_sound(&self) -> bool {
+        true
+    }
+}
+
+/// Control-flow error (Khoshavi et al.): the first conditional branch
+/// after the arming point transfers along the wrong edge.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ControlFlowError;
+
+impl FaultModel for ControlFlowError {
+    fn kind(&self) -> FaultModelKind {
+        FaultModelKind::ControlFlow
+    }
+
+    fn sample(&self, rng: &mut dyn Rng, eligible_insts: u64, dmax: u64) -> FaultPlan {
+        FaultPlan {
+            inject_at: rng.gen_below(eligible_insts),
+            action: FaultAction::WrongEdge,
+            detect_latency: rng.gen_range_inclusive(0, dmax),
+        }
+    }
+
+    fn splice_sound(&self) -> bool {
+        true
+    }
+}
+
+/// Power failure (Choi et al.'s intermittent computation): the device
+/// loses power at a uniformly chosen point, volatile registers are
+/// lost, and the run restarts from the armed recovery block — Encore's
+/// recovery blocks acting as a just-in-time checkpoint/rollback
+/// mechanism. Detection is the event itself, so `detect_latency` is
+/// always 0 (the latency histogram degenerates to bin 0).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PowerFailure;
+
+impl FaultModel for PowerFailure {
+    fn kind(&self) -> FaultModelKind {
+        FaultModelKind::PowerFailure
+    }
+
+    fn sample(&self, rng: &mut dyn Rng, eligible_insts: u64, dmax: u64) -> FaultPlan {
+        let _ = dmax; // a power failure has no detection latency
+        FaultPlan {
+            inject_at: rng.gen_below(eligible_insts),
+            action: FaultAction::PowerFailure,
+            detect_latency: 0,
+        }
+    }
+
+    fn splice_sound(&self) -> bool {
+        true
+    }
+}
+
+/// Selector for the built-in [`FaultModel`]s — the `Copy + Eq` handle
+/// that travels inside [`SfiConfig`](crate::SfiConfig), the CLI and
+/// campaign reports, while the trait objects behind
+/// [`FaultModelKind::model`] carry the behavior.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum FaultModelKind {
+    /// Single-bit value corruption (the default, the paper's §4.2.1).
+    #[default]
+    BitFlip,
+    /// 2–4 adjacent-bit burst of one value.
+    MultiBit,
+    /// Load/store cell-index corruption.
+    Address,
+    /// Wrong-edge branch transfer.
+    ControlFlow,
+    /// Mid-region power loss with restart from the recovery block.
+    PowerFailure,
+}
+
+impl FaultModelKind {
+    /// Every model, in reporting order.
+    pub const ALL: [FaultModelKind; 5] = [
+        FaultModelKind::BitFlip,
+        FaultModelKind::MultiBit,
+        FaultModelKind::Address,
+        FaultModelKind::ControlFlow,
+        FaultModelKind::PowerFailure,
+    ];
+
+    /// The model implementation behind this selector.
+    #[must_use]
+    pub fn model(self) -> &'static dyn FaultModel {
+        match self {
+            FaultModelKind::BitFlip => &BitFlip,
+            FaultModelKind::MultiBit => &MultiBitFlip,
+            FaultModelKind::Address => &AddressCorruption,
+            FaultModelKind::ControlFlow => &ControlFlowError,
+            FaultModelKind::PowerFailure => &PowerFailure,
+        }
+    }
+
+    /// Kebab-case name — the CLI value of `--fault-model`.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultModelKind::BitFlip => "bit-flip",
+            FaultModelKind::MultiBit => "multi-bit",
+            FaultModelKind::Address => "address",
+            FaultModelKind::ControlFlow => "control-flow",
+            FaultModelKind::PowerFailure => "power-failure",
+        }
+    }
+
+    /// Stable snake_case label (used as JSON keys in campaign reports).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultModelKind::BitFlip => "bit_flip",
+            FaultModelKind::MultiBit => "multi_bit",
+            FaultModelKind::Address => "address",
+            FaultModelKind::ControlFlow => "control_flow",
+            FaultModelKind::PowerFailure => "power_failure",
+        }
+    }
+
+    /// Parses a model name as the CLI spells it (either the kebab-case
+    /// [`FaultModelKind::name`] or the snake_case
+    /// [`FaultModelKind::label`]).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<FaultModelKind> {
+        FaultModelKind::ALL
+            .into_iter()
+            .find(|k| s == k.name() || s == k.label())
+    }
+}
+
+impl std::fmt::Display for FaultModelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SplitMix64;
+
+    #[test]
+    fn names_and_labels_round_trip_through_parse() {
+        for kind in FaultModelKind::ALL {
+            assert_eq!(FaultModelKind::parse(kind.name()), Some(kind));
+            assert_eq!(FaultModelKind::parse(kind.label()), Some(kind));
+            assert_eq!(kind.model().kind(), kind);
+        }
+        assert_eq!(FaultModelKind::parse("cosmic-ray"), None);
+    }
+
+    #[test]
+    fn every_model_samples_within_bounds() {
+        for kind in FaultModelKind::ALL {
+            let model = kind.model();
+            for index in 0..200u64 {
+                let mut rng = SplitMix64::for_index(0xFA_017, index);
+                let plan = model.sample(&mut rng, 1000, 50);
+                assert!(plan.inject_at < 1000, "{kind}: {plan:?}");
+                assert!(plan.detect_latency <= 50, "{kind}: {plan:?}");
+                match (kind, plan.action) {
+                    (FaultModelKind::BitFlip, FaultAction::FlipBits { mask }) => {
+                        assert_eq!(mask.count_ones(), 1);
+                    }
+                    (FaultModelKind::MultiBit, FaultAction::FlipBits { mask }) => {
+                        let w = mask.count_ones();
+                        assert!((2..=4).contains(&w), "burst width {w}");
+                        // Adjacent (modulo rotation): rotating the mask
+                        // so its lowest set bit is at 0 leaves a
+                        // contiguous low block.
+                        let r = mask.rotate_right(mask.trailing_zeros() % 64);
+                        assert!(
+                            r == (1u64 << w) - 1 || mask.leading_zeros() == 0,
+                            "non-contiguous burst {mask:#x}"
+                        );
+                    }
+                    (FaultModelKind::Address, FaultAction::CorruptAddress { mask }) => {
+                        assert_eq!(mask.count_ones(), 1);
+                        assert!(mask < (1 << 16));
+                    }
+                    (FaultModelKind::ControlFlow, FaultAction::WrongEdge) => {}
+                    (FaultModelKind::PowerFailure, FaultAction::PowerFailure) => {
+                        assert_eq!(plan.detect_latency, 0);
+                    }
+                    (k, a) => panic!("{k} sampled unexpected action {a:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sampling_is_a_pure_function_of_seed_and_index() {
+        for kind in FaultModelKind::ALL {
+            let model = kind.model();
+            for index in [0u64, 1, 17, 9999] {
+                let a = model.sample(&mut SplitMix64::for_index(7, index), 500, 20);
+                let b = model.sample(&mut SplitMix64::for_index(7, index), 500, 20);
+                assert_eq!(a, b, "{kind} resampled differently at index {index}");
+            }
+        }
+    }
+
+    #[test]
+    fn splice_soundness_claims_match_sampled_actions() {
+        // The model-level audit decision must agree with the per-action
+        // gate on every plan the model can produce — this is the "not
+        // comments" half of the per-model splice audit.
+        for kind in FaultModelKind::ALL {
+            let model = kind.model();
+            for index in 0..200u64 {
+                let mut rng = SplitMix64::for_index(0x51_1CE, index);
+                let plan = model.sample(&mut rng, 1000, 50);
+                assert_eq!(
+                    plan.action.splice_certifiable(),
+                    model.splice_sound(),
+                    "{kind}: action {:?} disagrees with the model-level claim",
+                    plan.action
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bit_flip_helper_matches_action() {
+        let p = FaultPlan::bit_flip(10, 5, 3);
+        assert_eq!(p.inject_at, 10);
+        assert_eq!(p.detect_latency, 3);
+        assert_eq!(p.action, FaultAction::FlipBits { mask: 1 << 5 });
+        // Bit indices fold modulo 64 like the legacy injector did.
+        assert_eq!(FaultPlan::bit_flip(0, 64, 0).action, FaultAction::FlipBits { mask: 1 });
+    }
+}

@@ -20,6 +20,7 @@
 //! exactly the paper's "no hardware support, no Encore region" case.
 
 use crate::externs::Externs;
+use crate::fault::{FaultAction, FaultPlan};
 use crate::memory::Memory;
 use crate::predecode::{BaseMode, DecodedAddr, DecodedModule, MicroOp};
 use crate::snapshot::{AccessChunks, Snapshot, SnapshotLog};
@@ -61,19 +62,6 @@ impl std::fmt::Display for Trap {
 }
 
 impl std::error::Error for Trap {}
-
-/// A planned transient fault: flip `bit` of the value produced by the
-/// `inject_at`-th *eligible* dynamic instruction (value-producing or
-/// store), detected `detect_latency` dynamic instructions later.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub struct FaultPlan {
-    /// Eligible-instruction ordinal to corrupt.
-    pub inject_at: u64,
-    /// Bit to flip (0–63).
-    pub bit: u8,
-    /// Detection latency in dynamic instructions (`l` of Eq. 6).
-    pub detect_latency: u64,
-}
 
 /// What happened to the planned fault during the run.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -280,9 +268,20 @@ pub(crate) struct Frame {
 
 struct FaultState {
     plan: FaultPlan,
+    /// A deferred action ([`FaultAction::WrongEdge`],
+    /// [`FaultAction::CorruptAddress`]) reached its eligible ordinal
+    /// and now waits for its firing event (the next branch / memory
+    /// access). Immediate actions never set this.
+    armed: bool,
     injected: bool,
     detect_at: Option<u64>,
     detected: bool,
+}
+
+impl FaultState {
+    fn new(plan: FaultPlan) -> Self {
+        Self { plan, armed: false, injected: false, detect_at: None, detected: false }
+    }
 }
 
 /// Which early-exit rule certified a spliced run's outcome.
@@ -486,8 +485,14 @@ fn resolve_decoded(
 
 /// The fast path's mirror of [`Machine::maybe_inject`], taking the
 /// fault fields as split borrows so the current frame can stay mutably
-/// borrowed across the call. Sets `fired` when the fault is injected by
-/// this call (the sprint loop then tightens its detection bound).
+/// borrowed across the call. Counts one eligible instruction and, at
+/// the plan's ordinal, dispatches on the [`FaultAction`]: value
+/// corruptions apply here; deferred actions (wrong-edge, address) only
+/// *arm* and fire later at their matching event; a power failure marks
+/// itself injected with detection due immediately (the machine dies
+/// before the next instruction). Sets `fired` when the fault is
+/// injected by this call (the sprint loop then tightens its detection
+/// bound).
 #[allow(clippy::too_many_arguments)]
 #[inline]
 fn inject(
@@ -502,15 +507,60 @@ fn inject(
     let ordinal = *eligible_seen;
     *eligible_seen += 1;
     let Some(f) = fault else { return v };
-    if !f.injected && ordinal == f.plan.inject_at {
-        f.injected = true;
-        f.detect_at = Some(now + f.plan.detect_latency);
-        telemetry.injected = true;
-        telemetry.inject_site = Some(site);
-        *fired = true;
-        return v.flip_bit(f.plan.bit);
+    if f.injected || ordinal != f.plan.inject_at {
+        return v;
     }
-    v
+    match f.plan.action {
+        FaultAction::FlipBits { mask } => {
+            f.injected = true;
+            f.detect_at = Some(now + f.plan.detect_latency);
+            telemetry.injected = true;
+            telemetry.inject_site = Some(site);
+            *fired = true;
+            v.flip_bits(mask)
+        }
+        FaultAction::WrongEdge | FaultAction::CorruptAddress { .. } => {
+            f.armed = true;
+            v
+        }
+        FaultAction::PowerFailure => {
+            f.injected = true;
+            f.detect_at = Some(now);
+            telemetry.injected = true;
+            telemetry.inject_site = Some(site);
+            *fired = true;
+            v
+        }
+    }
+}
+
+/// Fires an armed [`FaultAction::CorruptAddress`] fault, if any: the
+/// first program load/store executed after the arming ordinal XORs the
+/// plan's mask (folded to 16 bits, like pointer corruption) into its
+/// resolved cell index. The corrupted access either lands in bounds
+/// (silently hitting a neighbour cell) or traps — a symptom
+/// [`Machine::step_detected`] converts into detection while the fault
+/// is live. Split-borrow mirror of [`Machine::maybe_corrupt_addr`].
+#[inline]
+fn corrupt_addr(
+    fault: &mut Option<FaultState>,
+    now: u64,
+    telemetry: &mut FaultTelemetry,
+    site: (FuncId, BlockId),
+    idx: i64,
+    fired: &mut bool,
+) -> i64 {
+    let Some(f) = fault else { return idx };
+    if !f.armed || f.injected {
+        return idx;
+    }
+    let FaultAction::CorruptAddress { mask } = f.plan.action else { return idx };
+    f.injected = true;
+    f.detect_at = Some(now + f.plan.detect_latency);
+    telemetry.injected = true;
+    telemetry.inject_site = Some(site);
+    *fired = true;
+    idx ^ crate::value::fold_mask16(mask) as i64
 }
 
 /// Executes one pre-lowered instruction against split borrows of the
@@ -564,6 +614,7 @@ fn exec_fast(
         }
         MicroOp::Load { dst, addr } => {
             let (obj, idx) = resolve_decoded(frame, last_alloc_of_site, now, addr)?;
+            let idx = corrupt_addr(fault, now, telemetry, site, idx, &mut fired);
             let v = mem
                 .read(obj, idx)
                 .map_err(|e| Trap { kind: TrapKind::Memory(e.message), at: now })?;
@@ -572,6 +623,7 @@ fn exec_fast(
         }
         MicroOp::Store { addr, src } => {
             let (obj, idx) = resolve_decoded(frame, last_alloc_of_site, now, addr)?;
+            let idx = corrupt_addr(fault, now, telemetry, site, idx, &mut fired);
             let v = opnd(frame, src);
             let v = inject(fault, eligible_seen, now, telemetry, site, v, &mut fired);
             mem.write(obj, idx, v)
@@ -728,12 +780,7 @@ impl<'m, 'c> Machine<'m, 'c> {
             region_touched: vec![false; code.region_count],
             region_accounting: config.region_accounting,
             observing: config.collect_profile || config.collect_trace,
-            fault: config.fault.map(|plan| FaultState {
-                plan,
-                injected: false,
-                detect_at: None,
-                detected: false,
-            }),
+            fault: config.fault.map(FaultState::new),
             telemetry: FaultTelemetry::default(),
             eligible_seen: 0,
             ckpt_high_water: 0,
@@ -790,12 +837,14 @@ impl<'m, 'c> Machine<'m, 'c> {
             region_touched: snap.region_touched.clone(),
             region_accounting: config.region_accounting,
             observing: false,
-            fault: config.fault.map(|plan| FaultState {
-                plan,
-                injected: false,
-                detect_at: None,
-                detected: false,
-            }),
+            // A plan whose inject ordinal precedes the snapshot cannot
+            // fire after resume; [`SfiCampaign::run_one`] only resumes
+            // from snapshots with `eligible_seen <= plan.inject_at`, so
+            // the rebuilt (un-armed, un-injected) state is exactly what
+            // a from-scratch run carries at this point — for every
+            // [`FaultAction`], deferred ones included, since arming
+            // happens at or after the inject ordinal.
+            fault: config.fault.map(FaultState::new),
             telemetry: FaultTelemetry::default(),
             eligible_seen: snap.eligible_seen,
             ckpt_high_water: snap.ckpt_high_water,
@@ -959,18 +1008,56 @@ impl<'m, 'c> Machine<'m, 'c> {
     /// Applies the fault plan to a candidate value if this is the chosen
     /// eligible instruction. Eligible instructions are counted even
     /// without a fault plan so golden runs report the sample space.
+    ///
+    /// Dispatches on the plan's [`FaultAction`]: value corruption
+    /// applies right here; wrong-edge and address corruption *arm* at
+    /// the chosen ordinal and fire at the next matching event (branch /
+    /// memory access); a power failure injects with detection due
+    /// immediately.
     fn maybe_inject(&mut self, v: Value) -> Value {
         let ordinal = self.eligible_seen;
         self.eligible_seen += 1;
         let Some(f) = &mut self.fault else { return v };
-        if !f.injected && ordinal == f.plan.inject_at {
-            f.injected = true;
-            f.detect_at = Some(self.dyn_insts + f.plan.detect_latency);
-            self.telemetry.injected = true;
-            self.telemetry.inject_site = self.frames.last().map(|fr| (fr.func, fr.block));
-            return v.flip_bit(f.plan.bit);
+        if f.injected || ordinal != f.plan.inject_at {
+            return v;
         }
-        v
+        match f.plan.action {
+            FaultAction::FlipBits { mask } => {
+                f.injected = true;
+                f.detect_at = Some(self.dyn_insts + f.plan.detect_latency);
+                self.telemetry.injected = true;
+                self.telemetry.inject_site = self.frames.last().map(|fr| (fr.func, fr.block));
+                v.flip_bits(mask)
+            }
+            FaultAction::WrongEdge | FaultAction::CorruptAddress { .. } => {
+                f.armed = true;
+                v
+            }
+            FaultAction::PowerFailure => {
+                f.injected = true;
+                f.detect_at = Some(self.dyn_insts);
+                self.telemetry.injected = true;
+                self.telemetry.inject_site = self.frames.last().map(|fr| (fr.func, fr.block));
+                v
+            }
+        }
+    }
+
+    /// General-path mirror of the sprint loop's [`corrupt_addr`]: fires
+    /// an armed address-corruption fault on the first program
+    /// load/store after the arming ordinal, XORing the folded mask into
+    /// the resolved cell index.
+    fn maybe_corrupt_addr(&mut self, idx: i64) -> i64 {
+        let Some(f) = &mut self.fault else { return idx };
+        if !f.armed || f.injected {
+            return idx;
+        }
+        let FaultAction::CorruptAddress { mask } = f.plan.action else { return idx };
+        f.injected = true;
+        f.detect_at = Some(self.dyn_insts + f.plan.detect_latency);
+        self.telemetry.injected = true;
+        self.telemetry.inject_site = self.frames.last().map(|fr| (fr.func, fr.block));
+        idx ^ crate::value::fold_mask16(mask) as i64
     }
 
     /// True when a live (injected, undetected) fault should now be
@@ -987,8 +1074,25 @@ impl<'m, 'c> Machine<'m, 'c> {
     /// Fault detection fired: unwind to the nearest armed frame and
     /// redirect to its recovery block.
     ///
+    /// For a [`FaultAction::PowerFailure`] the machine additionally
+    /// loses the in-flight volatile state of the region it restarts:
+    /// every register the recovery log checkpointed is zeroed before
+    /// the recovery block runs, modeling a reboot on an intermittent
+    /// device whose memory is non-volatile but whose register file is
+    /// not. The recovery block's `Restore` ops must re-materialize
+    /// those registers from the log — a recovery block that missed one
+    /// re-executes from a zeroed value and the campaign classifies the
+    /// run as silent corruption. Registers outside the checkpoint set
+    /// are assumed preserved by the runtime's region-entry context save
+    /// (the standard just-in-time-checkpointing contract; our log only
+    /// materializes the WAR subset Encore checkpoints).
+    ///
     /// Returns `Err` when no frame is armed (unrecoverable).
     fn trigger_recovery(&mut self) -> Result<(), Trap> {
+        let power = matches!(
+            &self.fault,
+            Some(f) if matches!(f.plan.action, FaultAction::PowerFailure)
+        );
         if let Some(f) = &mut self.fault {
             f.detected = true;
         }
@@ -998,9 +1102,23 @@ impl<'m, 'c> Machine<'m, 'c> {
             if let Some(rec) = &frame.recovery {
                 let (region, block) = (rec.region, rec.recovery_block);
                 let ordinal = rec.act_ordinal;
+                let lost: Vec<usize> = if power {
+                    rec.log
+                        .iter()
+                        .filter_map(|e| match e {
+                            CkptEntry::Reg { reg, .. } => Some(reg.index()),
+                            CkptEntry::Mem { .. } => None,
+                        })
+                        .collect()
+                } else {
+                    Vec::new()
+                };
                 let frame = self.frames.last_mut().expect("frame");
                 frame.block = block;
                 frame.ip = 0;
+                for r in lost {
+                    frame.regs[r] = Value::ZERO;
+                }
                 self.telemetry.rolled_back = true;
                 self.telemetry.rollback_region = Some(region);
                 self.splice.on_rollback(ordinal);
@@ -1230,8 +1348,25 @@ impl<'m, 'c> Machine<'m, 'c> {
                                     region_touched[rid.index()] = true;
                                 }
                             }
-                            let target =
+                            let mut target =
                                 if opnd(frame, cond).truthy() { *then_bb } else { *else_bb };
+                            // An armed wrong-edge fault fires at the
+                            // first conditional branch after its
+                            // ordinal, taking the not-taken edge.
+                            if let Some(f) = fault.as_mut() {
+                                if f.armed
+                                    && !f.injected
+                                    && matches!(f.plan.action, FaultAction::WrongEdge)
+                                {
+                                    target = if target == *then_bb { *else_bb } else { *then_bb };
+                                    f.injected = true;
+                                    let due = *dyn_insts + f.plan.detect_latency;
+                                    f.detect_at = Some(due);
+                                    telemetry.injected = true;
+                                    telemetry.inject_site = Some(site);
+                                    bound = bound.min(due);
+                                }
+                            }
                             frame.block = target;
                             ip = 0;
                             block = dfunc.block(target);
@@ -1310,6 +1445,7 @@ impl<'m, 'c> Machine<'m, 'c> {
             }
             Inst::Load { dst, addr } => {
                 let (obj, idx) = self.resolve(addr)?;
+                let idx = self.maybe_corrupt_addr(idx);
                 let v = self.mem.read(obj, idx).map_err(|e| Trap {
                     kind: TrapKind::Memory(e.message),
                     at: self.dyn_insts,
@@ -1322,6 +1458,7 @@ impl<'m, 'c> Machine<'m, 'c> {
             }
             Inst::Store { addr, src } => {
                 let (obj, idx) = self.resolve(addr)?;
+                let idx = self.maybe_corrupt_addr(idx);
                 let v = self.operand(src);
                 let v = self.maybe_inject(v);
                 self.mem.write(obj, idx, v).map_err(|e| Trap {
@@ -1457,7 +1594,25 @@ impl<'m, 'c> Machine<'m, 'c> {
             }
             Terminator::Branch { cond, then_bb, else_bb } => {
                 let c = self.operand(cond);
-                let target = if c.truthy() { *then_bb } else { *else_bb };
+                let mut target = if c.truthy() { *then_bb } else { *else_bb };
+                // An armed wrong-edge fault fires at the first
+                // conditional branch after its ordinal, taking the
+                // not-taken edge (mirrors the sprint loop).
+                let wrong_edge = matches!(
+                    &self.fault,
+                    Some(f) if f.armed
+                        && !f.injected
+                        && matches!(f.plan.action, FaultAction::WrongEdge)
+                );
+                if wrong_edge {
+                    target = if target == *then_bb { *else_bb } else { *then_bb };
+                    let site = self.frames.last().map(|fr| (fr.func, fr.block));
+                    let f = self.fault.as_mut().expect("fault");
+                    f.injected = true;
+                    f.detect_at = Some(self.dyn_insts + f.plan.detect_latency);
+                    self.telemetry.injected = true;
+                    self.telemetry.inject_site = site;
+                }
                 self.note_edge(func_id, block_id, target);
                 self.note_block_entry(func_id, target);
                 let frame = self.frames.last_mut().expect("frame");

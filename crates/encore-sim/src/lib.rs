@@ -11,7 +11,9 @@
 //!   injection;
 //! * [`SfiCampaign`] — Monte-Carlo statistical fault injection with
 //!   uniform fault sites and uniform detection latency (§4.2.1),
-//!   classifying runs against a golden execution;
+//!   classifying runs against a golden execution under a pluggable
+//!   [`FaultModel`] taxonomy (bit flips, multi-bit bursts, address
+//!   corruption, wrong-edge control flow, power failure);
 //! * [`MaskingModel`] — the ARM926 hardware-masking rate composition
 //!   (Figure 8).
 //!
@@ -36,6 +38,7 @@
 #![warn(missing_docs)]
 
 mod externs;
+mod fault;
 mod interp;
 mod masking;
 mod memory;
@@ -46,9 +49,13 @@ mod snapshot;
 mod value;
 
 pub use externs::Externs;
+pub use fault::{
+    AddressCorruption, BitFlip, ControlFlowError, FaultAction, FaultModel, FaultModelKind,
+    FaultPlan, MultiBitFlip, PowerFailure,
+};
 pub use interp::{
-    resume_function, run_function, run_function_with_snapshots, FaultPlan, FaultTelemetry,
-    RunConfig, RunResult, SpliceRule, Trap, TrapKind, DIFF_CAP,
+    resume_function, run_function, run_function_with_snapshots, FaultTelemetry, RunConfig,
+    RunResult, SpliceRule, Trap, TrapKind, DIFF_CAP,
 };
 pub use masking::{ComposedCoverage, MaskingModel};
 pub use memory::{MemError, MemObject, Memory};
@@ -58,4 +65,4 @@ pub use sfi::{
     SfiStats, SpliceEngagement, SpliceStats, LATENCY_BINS,
 };
 pub use snapshot::{Snapshot, SnapshotLog};
-pub use value::{eval_bin, eval_un, EvalError, Value};
+pub use value::{eval_bin, eval_un, fold_mask16, EvalError, Value};

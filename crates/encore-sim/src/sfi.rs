@@ -2,16 +2,19 @@
 //!
 //! The paper's full-system evaluation (§4, §5.4) composes an SFI-derived
 //! hardware masking rate with the Encore recoverability model. This
-//! module provides the software half end-to-end: it injects real bit
-//! flips into architecturally visible values of the interpreted program,
+//! module provides the software half end-to-end: it injects real
+//! transient faults — sampled by a pluggable [`FaultModel`] (bit flips,
+//! multi-bit bursts, address corruption, wrong-edge control flow, power
+//! failure; see [`FaultModelKind`]) — into the interpreted program,
 //! models detection latency, lets the Encore runtime roll back, and
 //! classifies each run against the golden (fault-free) execution.
 //!
 //! # Parallel, reproducible campaigns
 //!
 //! Each injection's [`FaultPlan`] is a pure function of the campaign
-//! seed and the injection index ([`SfiConfig::plan_for`], built on
-//! [`SplitMix64::for_index`]), never of a shared generator's mutable
+//! seed and the injection index ([`SfiConfig::plan_for`], which hands a
+//! [`SplitMix64::for_index`] stream to the configured model's
+//! [`FaultModel::sample`]), never of a shared generator's mutable
 //! state. [`SfiCampaign::run`] therefore shards the index space across
 //! `std::thread::scope` workers and still produces **bit-identical**
 //! [`SfiStats`] for any worker count — and any single injection can be
@@ -22,12 +25,13 @@
 //! let outcome = campaign.run_one(plan);
 //! ```
 
+use crate::fault::{FaultModel, FaultModelKind, FaultPlan};
 use crate::interp::{
-    run_function_with_snapshots, FaultPlan, Machine, RunConfig, RunResult, SpliceRule, SpliceRun,
-    Trap, TrapKind,
+    run_function_with_snapshots, Machine, RunConfig, RunResult, SpliceRule, SpliceRun, Trap,
+    TrapKind,
 };
 use crate::predecode::DecodedModule;
-use crate::rng::{Rng, SplitMix64};
+use crate::rng::SplitMix64;
 use crate::snapshot::SnapshotLog;
 use crate::value::Value;
 use encore_core::RegionMap;
@@ -129,7 +133,15 @@ pub struct SfiConfig {
     /// histograms are bit-identical either way (the rules only certify
     /// outcomes full execution would reach), so `false` exists as an
     /// escape hatch and differential-testing reference.
+    ///
+    /// Plans whose [`FaultAction`](crate::FaultAction) is not
+    /// splice-certifiable run their full suffix regardless of this
+    /// flag, so enabling it is always sound.
     pub splice: bool,
+    /// The fault model plans are sampled from. Defaults to the classic
+    /// single-bit flip ([`FaultModelKind::BitFlip`]), which reproduces
+    /// pre-taxonomy campaigns bit-for-bit.
+    pub model: FaultModelKind,
 }
 
 impl Default for SfiConfig {
@@ -142,6 +154,7 @@ impl Default for SfiConfig {
             workers: 0,
             snapshot_stride: 256,
             splice: true,
+            model: FaultModelKind::BitFlip,
         }
     }
 }
@@ -160,18 +173,23 @@ impl SfiConfig {
     }
 
     /// The fault plan of injection `index`, given the golden run's
-    /// eligible-instruction count.
+    /// eligible-instruction count: a fresh [`SplitMix64::for_index`]
+    /// stream handed to the configured model's [`FaultModel::sample`].
     ///
-    /// A pure function of `(self.seed, index)` — thread- and
-    /// order-independent by construction.
+    /// A pure function of `(self.seed, self.model, index)` — thread-
+    /// and order-independent by construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `eligible_insts` is zero: an empty golden run has no
+    /// injection sites to sample. [`SfiCampaign::prepare`] rejects such
+    /// workloads with [`GoldenRunError::NoEligibleInstructions`] before
+    /// any plan is drawn, so campaign paths never hit this.
     #[must_use]
     pub fn plan_for(&self, index: u64, eligible_insts: u64) -> FaultPlan {
         let mut rng = SplitMix64::for_index(self.seed, index);
-        FaultPlan {
-            inject_at: rng.gen_below(eligible_insts.max(1)),
-            bit: rng.gen_below(64) as u8,
-            detect_latency: rng.gen_range_inclusive(0, self.dmax),
-        }
+        let model: &'static dyn FaultModel = self.model.model();
+        model.sample(&mut rng, eligible_insts, self.dmax)
     }
 }
 
@@ -430,6 +448,14 @@ impl CampaignReport {
         &self.latency[outcome.index()]
     }
 
+    /// The fault model this report's plans were sampled from — the row
+    /// key when reports from [`SfiCampaign::run_models`] are laid out
+    /// as a per-model outcome table.
+    #[must_use]
+    pub fn model(&self) -> FaultModelKind {
+        self.config.model
+    }
+
     /// Adds another shard's counts into this one.
     pub fn merge(&mut self, other: &CampaignReport) {
         self.stats.merge(&other.stats);
@@ -440,23 +466,39 @@ impl CampaignReport {
     }
 }
 
-/// The golden (fault-free) run trapped, so there is no reference
-/// execution to inject faults against.
+/// The golden (fault-free) run cannot serve as a reference execution
+/// to inject faults against.
 #[derive(Clone, PartialEq, Eq, Debug)]
-pub struct GoldenRunError {
-    /// The trap that killed the golden run.
-    pub trap: Trap,
+pub enum GoldenRunError {
+    /// The golden run trapped — the workload must be fault-free before
+    /// injecting faults into it.
+    Trapped(Trap),
+    /// The golden run completed without executing a single
+    /// fault-eligible instruction, so there is no injection site to
+    /// sample. (Previously this was silently coerced to a one-site
+    /// space, injecting every plan at a nonexistent ordinal 0.)
+    NoEligibleInstructions,
 }
 
 impl std::fmt::Display for GoldenRunError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "golden run trapped before any fault was injected: {}", self.trap)
+        match self {
+            GoldenRunError::Trapped(trap) => {
+                write!(f, "golden run trapped before any fault was injected: {trap}")
+            }
+            GoldenRunError::NoEligibleInstructions => {
+                write!(f, "golden run executed no fault-eligible instructions")
+            }
+        }
     }
 }
 
 impl std::error::Error for GoldenRunError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
-        Some(&self.trap)
+        match self {
+            GoldenRunError::Trapped(trap) => Some(trap),
+            GoldenRunError::NoEligibleInstructions => None,
+        }
     }
 }
 
@@ -487,8 +529,11 @@ impl<'a> SfiCampaign<'a> {
     ///
     /// # Errors
     ///
-    /// Returns [`GoldenRunError`] if the golden run itself traps — the
-    /// workload must be fault-free before injecting faults into it.
+    /// Returns [`GoldenRunError::Trapped`] if the golden run itself
+    /// traps — the workload must be fault-free before injecting faults
+    /// into it — and [`GoldenRunError::NoEligibleInstructions`] if it
+    /// completes without a single injection site (the sample space
+    /// [`FaultModel::sample`] draws from would be empty).
     pub fn prepare(
         module: &'a Module,
         map: Option<&'a RegionMap>,
@@ -507,7 +552,10 @@ impl<'a> SfiCampaign<'a> {
             config.snapshot_stride,
         );
         if let Some(trap) = golden.trap.clone() {
-            return Err(GoldenRunError { trap });
+            return Err(GoldenRunError::Trapped(trap));
+        }
+        if golden.eligible_insts == 0 {
+            return Err(GoldenRunError::NoEligibleInstructions);
         }
         let fuel = golden.dyn_insts.saturating_mul(config.fuel_factor).max(100_000);
         Ok(Self { module, map, entry, args: args.to_vec(), code, golden, snapshots, fuel })
@@ -560,7 +608,12 @@ impl<'a> SfiCampaign<'a> {
             }
             None => self.fresh_machine(&config),
         };
-        if !splice || self.snapshots.is_empty() {
+        // The splice gate is per-action, not per-campaign: a plan whose
+        // action the splice argument does not cover runs its full
+        // suffix even when the campaign enables splicing, so model
+        // soundness claims (`FaultModel::splice_sound`) are enforced
+        // here rather than trusted. See `FaultAction::splice_certifiable`.
+        if !splice || !plan.action.splice_certifiable() || self.snapshots.is_empty() {
             let trap = m.run_to_end();
             return (self.classify_machine(&m, trap), None);
         }
@@ -637,18 +690,37 @@ impl<'a> SfiCampaign<'a> {
         report
     }
 
-    /// Runs a full campaign: `config.injections` faults at uniformly
-    /// random eligible instructions, random bit, uniform latency in
-    /// `[0, Dmax]`, sharded across [`SfiConfig::effective_workers`]
-    /// threads. Results are bit-identical for any worker count.
+    /// Runs a full campaign: `config.injections` faults sampled by
+    /// `config.model` over the golden run's eligible instructions, with
+    /// uniform latency in `[0, Dmax]`, sharded across
+    /// [`SfiConfig::effective_workers`] threads. Results are
+    /// bit-identical for any worker count.
     pub fn run(&self, config: &SfiConfig) -> SfiStats {
         self.run_report(config).stats
+    }
+
+    /// Runs one campaign per fault model in `models` (overriding
+    /// `config.model`) and returns the per-model reports in order — the
+    /// outcome rows backing per-model coverage tables. Each row is an
+    /// independent campaign with the same seed, so rows are
+    /// individually reproducible and worker-count invariant.
+    pub fn run_models(
+        &self,
+        config: &SfiConfig,
+        models: &[FaultModelKind],
+    ) -> Vec<CampaignReport> {
+        models
+            .iter()
+            .map(|&model| self.run_report(&SfiConfig { model, ..*config }))
+            .collect()
     }
 
     /// Like [`SfiCampaign::run`], but returns the full report with
     /// per-outcome detection-latency histograms.
     pub fn run_report(&self, config: &SfiConfig) -> CampaignReport {
-        let space = self.golden.eligible_insts.max(1);
+        // `prepare` rejected empty sample spaces, so the count is a
+        // valid `gen_below` bound.
+        let space = self.golden.eligible_insts;
         let n = config.injections as u64;
         let workers = self.effective_workers(config) as u64;
         if workers <= 1 {
@@ -685,6 +757,7 @@ impl<'a> SfiCampaign<'a> {
 mod tests {
     use super::*;
     use crate::interp::run_function;
+    use crate::rng::Rng;
     use encore_analysis::Profile;
     use encore_core::{Encore, EncoreConfig};
     use encore_ir::{AddrExpr, BinOp, MemBase, ModuleBuilder, Operand};
@@ -877,7 +950,27 @@ mod tests {
         assert_eq!(a, b);
         let c = config.plan_for(18, 1000);
         assert_ne!(a, c);
-        assert!(a.inject_at < 1000 && a.bit < 64 && a.detect_latency <= 50);
+        assert!(a.inject_at < 1000 && a.detect_latency <= 50);
+        assert!(
+            matches!(a.action, crate::FaultAction::FlipBits { mask } if mask.count_ones() == 1),
+            "default model must sample single-bit flips: {a:?}"
+        );
+    }
+
+    #[test]
+    fn bit_flip_model_reproduces_the_legacy_stream() {
+        // The default model must draw in the exact order the
+        // pre-taxonomy `plan_for` did, so historical campaign results
+        // stay bit-identical.
+        let config = SfiConfig { seed: 0xBEEF, dmax: 77, ..Default::default() };
+        for index in [0u64, 1, 17, 1_000_003] {
+            let plan = config.plan_for(index, 4096);
+            let mut rng = SplitMix64::for_index(config.seed, index);
+            let inject_at = rng.gen_below(4096);
+            let bit = rng.gen_below(64);
+            let detect_latency = rng.gen_range_inclusive(0, config.dmax);
+            assert_eq!(plan, FaultPlan::bit_flip(inject_at, bit as u8, detect_latency));
+        }
     }
 
     #[test]
@@ -924,7 +1017,7 @@ mod tests {
         let campaign =
             SfiCampaign::prepare(&m, Some(&map), fid, &[Value::Int(32)], &SfiConfig::default())
                 .expect("golden run completes");
-        let plan = FaultPlan { inject_at: 10, bit: 5, detect_latency: 3 };
+        let plan = FaultPlan::bit_flip(10, 5, 3);
         let a = campaign.run_one(plan);
         let b = campaign.run_one(plan);
         assert_eq!(a, b);
@@ -957,8 +1050,27 @@ mod tests {
         let m = mb.finish();
         let err = SfiCampaign::prepare(&m, None, fid, &[], &SfiConfig::default())
             .expect_err("trapping golden run must be reported");
-        assert!(matches!(err.trap.kind, TrapKind::Memory(_)));
+        assert!(
+            matches!(&err, GoldenRunError::Trapped(trap) if matches!(trap.kind, TrapKind::Memory(_)))
+        );
         assert!(err.to_string().contains("golden run trapped"));
+    }
+
+    #[test]
+    fn prepare_rejects_empty_sample_space() {
+        // A function that only returns executes zero fault-eligible
+        // instructions: there is no site to inject at, and `prepare`
+        // must say so instead of silently pretending the space has one
+        // slot (the old `eligible_insts.max(1)` behavior).
+        let mut mb = ModuleBuilder::new("m");
+        let fid = mb.function("f", 0, |f| {
+            f.ret(None);
+        });
+        let m = mb.finish();
+        let err = SfiCampaign::prepare(&m, None, fid, &[], &SfiConfig::default())
+            .expect_err("empty sample space must be reported");
+        assert_eq!(err, GoldenRunError::NoEligibleInstructions);
+        assert!(err.to_string().contains("no fault-eligible instructions"));
     }
 
     #[test]
@@ -974,6 +1086,100 @@ mod tests {
                 campaign.run_one(plan),
                 campaign.run_one_from_scratch(plan),
                 "snapshot resume diverged from scratch for {plan:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_model_is_worker_and_splice_invariant() {
+        // The acceptance matrix of the taxonomy refactor: for each
+        // model, outcomes and latency histograms are bit-identical
+        // across worker counts and with splicing on or off. The splice
+        // half of the matrix is the test-encoded form of each model's
+        // splice-soundness decision.
+        let (m, map, fid) = protected_kernel();
+        let base = SfiConfig {
+            injections: 40,
+            dmax: 12,
+            snapshot_stride: 32,
+            workers: 1,
+            ..Default::default()
+        };
+        let campaign = SfiCampaign::prepare(&m, Some(&map), fid, &[Value::Int(32)], &base)
+            .expect("golden run completes");
+        for model in FaultModelKind::ALL {
+            let config = SfiConfig { model, ..base };
+            let reference = campaign.run_report(&config);
+            assert_eq!(reference.stats.injections, 40, "{model}: injections lost");
+            assert_eq!(reference.model(), model);
+            let parallel = campaign.run_report(&SfiConfig { workers: 8, ..config });
+            assert_eq!(reference.stats, parallel.stats, "{model}: stats diverged at 8 workers");
+            assert_eq!(reference.latency, parallel.latency, "{model}: histograms diverged");
+            let unspliced = campaign.run_report(&SfiConfig { splice: false, ..config });
+            assert_eq!(reference.stats, unspliced.stats, "{model}: splice changed outcomes");
+            assert_eq!(reference.latency, unspliced.latency, "{model}: splice changed latency");
+        }
+    }
+
+    #[test]
+    fn run_models_produces_one_row_per_model_in_order() {
+        let (m, map, fid) = protected_kernel();
+        let config = SfiConfig { injections: 15, dmax: 6, workers: 1, ..Default::default() };
+        let campaign = SfiCampaign::prepare(&m, Some(&map), fid, &[Value::Int(32)], &config)
+            .expect("golden run completes");
+        let rows = campaign.run_models(&config, &FaultModelKind::ALL);
+        assert_eq!(rows.len(), FaultModelKind::ALL.len());
+        for (row, model) in rows.iter().zip(FaultModelKind::ALL) {
+            assert_eq!(row.model(), model);
+            assert_eq!(row.stats.injections, 15);
+            // Each row is reproducible in isolation.
+            assert_eq!(row, &campaign.run_report(&SfiConfig { model, ..config }));
+        }
+    }
+
+    #[test]
+    fn power_failure_faults_recover_via_rollback() {
+        // A power failure detects instantly and restarts the armed
+        // region's recovery block with zeroed registers; Encore's
+        // checkpointed live-ins must carry the re-execution, so a
+        // protected kernel recovers (and never silently corrupts).
+        let (m, map, fid) = protected_kernel();
+        let config = SfiConfig {
+            injections: 60,
+            model: FaultModelKind::PowerFailure,
+            ..Default::default()
+        };
+        let campaign = SfiCampaign::prepare(&m, Some(&map), fid, &[Value::Int(32)], &config)
+            .expect("golden run completes");
+        let stats = campaign.run(&config);
+        assert_eq!(stats.injections, 60);
+        assert!(stats.recovered > 0, "power failures never recovered: {stats:?}");
+        assert_eq!(
+            stats.silent_corruption, 0,
+            "a detected-on-injection fault cannot corrupt silently: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn wrong_edge_and_address_models_defer_until_their_event() {
+        // Deferred models arm at the sampled ordinal and fire at the
+        // next matching event; a run may therefore end with the fault
+        // armed but never fired, which must classify as Benign (and
+        // must never certify through the splice, whose probes require
+        // the fault slot to be empty).
+        let (m, map, fid) = protected_kernel();
+        for model in [FaultModelKind::ControlFlow, FaultModelKind::Address] {
+            let config =
+                SfiConfig { injections: 60, dmax: 8, model, ..Default::default() };
+            let campaign = SfiCampaign::prepare(&m, Some(&map), fid, &[Value::Int(32)], &config)
+                .expect("golden run completes");
+            let stats = campaign.run(&config);
+            assert_eq!(stats.injections, 60, "{model}: injections lost");
+            // The kernel branches and accesses memory every iteration,
+            // so some plans must actually fire and perturb the run.
+            assert!(
+                stats.benign < 60,
+                "{model}: every injection was a no-op, the model never fired: {stats:?}"
             );
         }
     }

@@ -51,17 +51,39 @@ impl Value {
     }
 
     /// Flips bit `bit` (0–63) of the value's 64-bit representation —
-    /// the transient-fault model. Integers and floats flip their payload
-    /// bits; pointers flip a bit of the cell index (corrupting an address
-    /// computation).
+    /// the classic single-event-upset fault. Equivalent to
+    /// [`Value::flip_bits`] with a one-bit mask.
     pub fn flip_bit(self, bit: u8) -> Value {
-        let bit = bit % 64;
+        self.flip_bits(1u64 << (bit % 64))
+    }
+
+    /// XORs `mask` into the value's 64-bit representation — the general
+    /// value-corruption fault (single- and multi-bit). Integers and
+    /// floats flip their payload bits; pointers fold the mask into
+    /// 16 bits ([`fold_mask16`]) and flip those bits of the cell index
+    /// (corrupting an address computation; the corrupted index may land
+    /// past the object bound — bounds are checked on dereference, so a
+    /// stray becomes a symptom trap). An involution: applying the same
+    /// mask twice restores the value, and composing two masks equals
+    /// applying their XOR.
+    pub fn flip_bits(self, mask: u64) -> Value {
         match self {
-            Value::Int(v) => Value::Int(v ^ (1i64 << bit)),
-            Value::Float(v) => Value::Float(f64::from_bits(v.to_bits() ^ (1u64 << bit))),
-            Value::Ptr { obj, idx } => Value::Ptr { obj, idx: idx ^ (1i64 << (bit % 16)) },
+            Value::Int(v) => Value::Int(v ^ mask as i64),
+            Value::Float(v) => Value::Float(f64::from_bits(v.to_bits() ^ mask)),
+            Value::Ptr { obj, idx } => Value::Ptr { obj, idx: idx ^ fold_mask16(mask) as i64 },
         }
     }
+}
+
+/// XOR-folds a 64-bit corruption mask into 16 bits, preserving the
+/// single-bit case exactly (`1 << b` folds to `1 << (b % 16)`, the
+/// historical pointer-corruption behavior) and keeping the fold an
+/// involution-compatible linear map: `fold(a ^ b) == fold(a) ^ fold(b)`.
+/// Pointer cell indices are small, so corrupting within 16 bits keeps
+/// strays near the object instead of teleporting them 2⁶³ cells away.
+#[must_use]
+pub fn fold_mask16(mask: u64) -> u64 {
+    (mask ^ (mask >> 16) ^ (mask >> 32) ^ (mask >> 48)) & 0xFFFF
 }
 
 impl fmt::Display for Value {
@@ -253,6 +275,78 @@ mod tests {
         assert_eq!(f.flip_bit(3), v);
         let fl = Value::Float(1.5).flip_bit(52);
         assert_ne!(fl, Value::Float(1.5));
+    }
+
+    #[test]
+    fn bit_63_flips_the_sign_bit() {
+        // The top bit is in range for every representation: integers
+        // flip sign, floats flip their sign bit, and bit indices ≥ 64
+        // wrap rather than shifting into UB.
+        assert_eq!(Value::Int(1).flip_bit(63), Value::Int(1 ^ i64::MIN));
+        assert_eq!(Value::Float(1.5).flip_bit(63), Value::Float(-1.5));
+        assert_eq!(Value::Int(5).flip_bit(64), Value::Int(4)); // 64 % 64 == 0
+        assert_eq!(
+            Value::Int(i64::MIN).flip_bit(63),
+            Value::Int(0),
+            "flipping the sign bit of MIN yields zero"
+        );
+    }
+
+    #[test]
+    fn pointer_corruption_can_wrap_past_the_object_bound() {
+        // A pointer's corrupted index is *not* clamped to the object:
+        // bounds are checked on dereference, so a stray past the end is
+        // exactly how address faults become symptom traps. Bits ≥ 16
+        // fold back into the 16-bit index window.
+        let p = Value::Ptr { obj: 3, idx: 4 };
+        assert_eq!(p.flip_bit(15), Value::Ptr { obj: 3, idx: 4 ^ (1 << 15) });
+        assert_eq!(p.flip_bit(16), Value::Ptr { obj: 3, idx: 5 }); // 16 folds to bit 0
+        assert_eq!(p.flip_bit(63), Value::Ptr { obj: 3, idx: 4 ^ (1 << 15) });
+        // The object handle is never corrupted (the fault is an address
+        // *computation* fault, not a type-system escape).
+        for bit in 0..64 {
+            match p.flip_bit(bit) {
+                Value::Ptr { obj, .. } => assert_eq!(obj, 3),
+                other => panic!("flip changed representation: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn multi_bit_masks_compose_and_round_trip() {
+        // flip_bits is an involution and composes by XOR — the property
+        // the multi-bit model's determinism (and snapshot-resume
+        // equivalence) leans on.
+        let cases = [Value::Int(-77), Value::Float(3.25), Value::Ptr { obj: 1, idx: 9 }];
+        let masks = [0x3u64, 0xF0F0, 1 << 63, 0xDEAD_BEEF_CAFE_F00D];
+        for v in cases {
+            for a in masks {
+                assert_eq!(v.flip_bits(a).flip_bits(a), v, "involution failed: {v:?} {a:#x}");
+                for b in masks {
+                    assert_eq!(
+                        v.flip_bits(a).flip_bits(b),
+                        v.flip_bits(a ^ b),
+                        "composition failed: {v:?} {a:#x} {b:#x}"
+                    );
+                }
+            }
+        }
+        // A wrapped adjacent burst (rotate_left past bit 63) still
+        // round-trips.
+        let burst = 0b111u64.rotate_left(62);
+        assert_eq!(Value::Int(12345).flip_bits(burst).flip_bits(burst), Value::Int(12345));
+    }
+
+    #[test]
+    fn single_bit_flip_matches_folded_mask_flip() {
+        // flip_bit(b) must stay exactly flip_bits(1 << b), including the
+        // pointer fold — the bit-for-bit compatibility contract the
+        // default campaign stream depends on.
+        let p = Value::Ptr { obj: 2, idx: 100 };
+        for bit in 0..64u8 {
+            assert_eq!(p.flip_bit(bit), p.flip_bits(1u64 << bit));
+            assert_eq!(fold_mask16(1u64 << bit), 1u64 << (bit % 16));
+        }
     }
 
     #[test]

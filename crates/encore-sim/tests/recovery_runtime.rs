@@ -122,7 +122,7 @@ fn rearming_resets_the_checkpoint_log() {
             fid,
             &[],
             &RunConfig {
-                fault: Some(FaultPlan { inject_at, bit: 1, detect_latency: 0 }),
+                fault: Some(FaultPlan::bit_flip(inject_at, 1, 0)),
                 ..Default::default()
             },
         );
@@ -182,7 +182,7 @@ fn recovery_unwinds_through_pure_callee_frames() {
             fid,
             &[],
             &RunConfig {
-                fault: Some(FaultPlan { inject_at, bit: 4, detect_latency: 0 }),
+                fault: Some(FaultPlan::bit_flip(inject_at, 4, 0)),
                 ..Default::default()
             },
         );
@@ -213,7 +213,7 @@ fn detection_without_armed_region_is_unrecoverable() {
         fid,
         &[],
         &RunConfig {
-            fault: Some(FaultPlan { inject_at: 0, bit: 0, detect_latency: 0 }),
+            fault: Some(FaultPlan::bit_flip(0, 0, 0)),
             ..Default::default()
         },
     );
@@ -270,7 +270,7 @@ fn stale_arming_rolls_back_to_wrong_region() {
             fid,
             &[],
             &RunConfig {
-                fault: Some(FaultPlan { inject_at, bit: 0, detect_latency: 0 }),
+                fault: Some(FaultPlan::bit_flip(inject_at, 0, 0)),
                 ..Default::default()
             },
         );
@@ -321,7 +321,7 @@ fn checkpoint_reg_restores_live_in() {
             fid,
             &[Value::Int(7)],
             &RunConfig {
-                fault: Some(FaultPlan { inject_at, bit: 3, detect_latency: 0 }),
+                fault: Some(FaultPlan::bit_flip(inject_at, 3, 0)),
                 ..Default::default()
             },
         );

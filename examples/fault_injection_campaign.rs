@@ -1,6 +1,6 @@
 //! Statistical fault injection end-to-end: run a Monte-Carlo campaign of
-//! real bit flips against an instrumented workload and compare the
-//! protected module against the unprotected baseline.
+//! real transient faults against an instrumented workload and compare
+//! the protected module against the unprotected baseline.
 //!
 //! Campaigns run sharded across worker threads, yet every result is a
 //! pure function of `(seed, injection index)` — the same seed gives
@@ -8,11 +8,15 @@
 //! can be replayed alone (demonstrated at the end).
 //!
 //! Run with `cargo run --release --example fault_injection_campaign`
-//! (optionally `-- <workload> <injections> <dmax> <workers> <seed>`).
+//! (optionally
+//! `-- <workload> <injections> <dmax> <workers> <seed> <fault-model>`,
+//! where `<fault-model>` is one of `bit-flip` (default), `multi-bit`,
+//! `address`, `control-flow`, `power-failure`).
 
 use encore::core::{Encore, EncoreConfig};
 use encore::sim::{
-    run_function, FaultOutcome, MaskingModel, RunConfig, SfiCampaign, SfiConfig, Value,
+    run_function, FaultModelKind, FaultOutcome, MaskingModel, RunConfig, SfiCampaign, SfiConfig,
+    Value,
 };
 
 fn main() {
@@ -22,12 +26,26 @@ fn main() {
     let dmax: u64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(100);
     let workers: usize = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(0);
     let seed: u64 = args.get(5).and_then(|s| s.parse().ok()).unwrap_or(0xE7_C04E);
+    let model = match args.get(6) {
+        Some(s) => FaultModelKind::parse(s).unwrap_or_else(|| {
+            eprintln!(
+                "unknown fault model `{s}`; available: {}",
+                FaultModelKind::ALL
+                    .iter()
+                    .map(|m| m.name())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+            std::process::exit(2);
+        }),
+        None => FaultModelKind::default(),
+    };
 
     let w = encore::workloads::by_name(name).expect("known workload");
-    let sfi = SfiConfig { injections, dmax, seed, workers, ..Default::default() };
+    let sfi = SfiConfig { injections, dmax, seed, workers, model, ..Default::default() };
     println!(
         "campaign: {name}, {injections} injections, Dmax = {dmax}, seed = {seed:#x}, \
-         {} worker(s)",
+         {} worker(s), fault model = {model}",
         sfi.effective_workers()
     );
 
@@ -122,9 +140,9 @@ fn main() {
     let replayed = prot_campaign.run_one(plan);
     println!(
         "\nreplay of injection {idx} from (seed {seed:#x}, index {idx}): \
-         inject_at={}, bit={}, latency={} → {}",
+         inject_at={}, action={:?}, latency={} → {}",
         plan.inject_at,
-        plan.bit,
+        plan.action,
         plan.detect_latency,
         replayed.label()
     );

@@ -54,7 +54,7 @@ fn main() {
         w.entry,
         &[Value::Int(w.eval_arg)],
         &RunConfig {
-            fault: Some(FaultPlan { inject_at: 500, bit: 9, detect_latency: 6 }),
+            fault: Some(FaultPlan::bit_flip(500, 9, 6)),
             ..Default::default()
         },
     );

@@ -4,8 +4,9 @@
 # in-repo microbench harness via the ENCORE_BENCH_JSON environment
 # variable): the analysis suite into BENCH_analysis.json and the
 # simulator/SFI-campaign suite into BENCH_sim.json (golden_run and
-# campaign_40 rows at 1x, plus the campaign_40_xl tier at 10x data
-# scale). Set
+# campaign_40 rows at 1x — including per-fault-model campaign_40_<model>
+# rows for multi_bit/address/control_flow/power_failure — plus the
+# campaign_40_xl tier at 10x data scale). Set
 # ENCORE_BENCH_LABEL to tag the emitted rows (e.g. "baseline" vs
 # "post-change" when comparing in one file); by default rows are
 # labeled with the current git commit so results stay attributable

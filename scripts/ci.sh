@@ -19,12 +19,18 @@ echo "==> cargo clippy --offline -- -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
 # Fixed-seed campaign smoke: exercises the snapshot-and-resume +
-# convergence-splice injection path end-to-end on a real workload. The
-# run is deterministic (seeded, single-worker-equivalent results at any
-# worker count), so a hang or panic here means the campaign engine
-# regressed even if unit tests pass.
-echo "==> SFI campaign smoke (fixed seed)"
-cargo run --release --offline --example fault_injection_campaign -- rawcaudio 24 50 0 12345
+# convergence-splice injection path end-to-end on a real workload, once
+# per fault model so every sampler and its injection machinery (bit
+# flips, multi-bit masks, address corruption, wrong-edge control flow,
+# power failure) gets an end-to-end run. Each run is deterministic
+# (seeded, single-worker-equivalent results at any worker count), so a
+# hang or panic here means the campaign engine regressed even if unit
+# tests pass.
+echo "==> SFI campaign smoke (fixed seed, per fault model)"
+for model in bit-flip multi-bit address control-flow power-failure; do
+    echo "==> fault model: $model"
+    cargo run --release --offline --example fault_injection_campaign -- rawcaudio 24 50 0 12345 "$model"
+done
 
 # Divergence-splice smoke: a fixed-seed campaign on a hand-built kernel
 # in which all three early-exit rules (converged / dead-diff / sdc) must
@@ -37,11 +43,14 @@ cargo test --release -q --offline --test sfi_campaign -- \
 
 # Differential fuzz smoke: 64 machine-generated programs (fixed seed —
 # cases are a pure function of the property name and index) through the
-# splice/stride/worker differential property. The acceptance sweep runs
-# 512 cases; 64 here keeps the gate fast while still covering a prefix
-# of the same corpus.
+# splice/stride/worker differential property, plus the per-fault-model
+# variant and the adversarial-plan resume/scratch differential. The
+# acceptance sweep runs 512 cases; 64 here keeps the gate fast while
+# still covering a prefix of the same corpus.
 echo "==> differential fuzz smoke (64 fixed-seed cases)"
 ENCORE_FUZZ_CASES=64 cargo test --release -q --offline --test fuzz_differential -- \
-    fuzzed_campaigns_are_splice_stride_and_worker_invariant
+    fuzzed_campaigns_are_splice_stride_and_worker_invariant \
+    fuzzed_campaigns_are_invariant_under_every_fault_model \
+    fuzzed_fault_plans_agree_between_resume_and_scratch
 
 echo "==> OK"

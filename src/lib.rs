@@ -54,7 +54,7 @@
 //!     w.entry,
 //!     &[Value::Int(w.eval_arg)],
 //!     &RunConfig {
-//!         fault: Some(FaultPlan { inject_at: 120, bit: 7, detect_latency: 5 }),
+//!         fault: Some(FaultPlan::bit_flip(120, 7, 5)),
 //!         ..Default::default()
 //!     },
 //! );

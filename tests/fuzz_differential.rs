@@ -22,8 +22,8 @@ mod common;
 use common::prop::{check, prop_assert, Arbitrary, Gen, PropResult};
 use encore::core::{Encore, EncoreConfig};
 use encore::sim::{
-    run_function, CampaignReport, LatencyHistogram, RunConfig, SfiCampaign, SfiConfig,
-    FaultOutcome, SfiStats, SpliceRule, Value,
+    run_function, CampaignReport, FaultAction, FaultModelKind, FaultPlan, LatencyHistogram,
+    RunConfig, SfiCampaign, SfiConfig, FaultOutcome, SfiStats, SpliceRule, Value,
 };
 use encore::workloads::fuzz::{self, FuzzProgram, FuzzStmt};
 
@@ -77,9 +77,13 @@ fn instrument(prog: &FuzzProgram) -> Result<(encore_ir::Module, encore::core::Re
 }
 
 /// The differential property: campaign results are a pure function of
-/// `(module, args, seed, injections, dmax)` — splicing, snapshot
-/// stride and worker count must all be invisible in the report.
-fn splice_stride_workers_invisible(prog: &FuzzProgram) -> PropResult {
+/// `(module, args, seed, injections, dmax, model)` — splicing,
+/// snapshot stride and worker count must all be invisible in the
+/// report, for every member of the fault-model taxonomy.
+fn splice_stride_workers_invisible_under(
+    prog: &FuzzProgram,
+    model: FaultModelKind,
+) -> PropResult {
     let (module, map, entry) = instrument(prog).map_err(|e| e.to_string())?;
     let mut reference: Option<(SfiStats, [LatencyHistogram; FaultOutcome::ALL.len()])> = None;
     for stride in [0u64, 1, 64] {
@@ -89,6 +93,7 @@ fn splice_stride_workers_invisible(prog: &FuzzProgram) -> PropResult {
             seed: 0xD1FF,
             workers: 1,
             snapshot_stride: stride,
+            model,
             ..Default::default()
         };
         let campaign =
@@ -101,20 +106,20 @@ fn splice_stride_workers_invisible(prog: &FuzzProgram) -> PropResult {
             let without = campaign.run_report(&off);
             prop_assert!(
                 results(&with) == results(&without),
-                "splice changed results at stride {stride}, {workers} workers:\n\
+                "splice changed {model} results at stride {stride}, {workers} workers:\n\
                  with:    {:?}\nwithout: {:?}",
                 results(&with),
                 results(&without)
             );
             prop_assert!(
                 without.splice.total() == 0,
-                "splice-off campaign recorded engagements at stride {stride}"
+                "splice-off {model} campaign recorded engagements at stride {stride}"
             );
             match &reference {
                 None => reference = Some(results(&with)),
                 Some(r) => prop_assert!(
                     *r == results(&with),
-                    "stride {stride} / {workers} workers changed results:\n\
+                    "stride {stride} / {workers} workers changed {model} results:\n\
                      reference: {r:?}\ngot:       {:?}",
                     results(&with)
                 ),
@@ -127,7 +132,83 @@ fn splice_stride_workers_invisible(prog: &FuzzProgram) -> PropResult {
 #[test]
 fn fuzzed_campaigns_are_splice_stride_and_worker_invariant() {
     check::<Fuzzed>("fuzz_differential", case_count(64), |f| {
-        splice_stride_workers_invisible(&f.0)
+        splice_stride_workers_invisible_under(&f.0, FaultModelKind::default())
+    });
+}
+
+/// The same invariance for every non-default member of the taxonomy:
+/// wrong-edge and address faults defer firing past their sampled
+/// ordinal and power failures detect instantly, so each model stresses
+/// the snapshot-resume and splice machinery along a different seam.
+/// Fewer cases per model than the default sweep — the product with
+/// five models keeps tier-1 time bounded.
+#[test]
+fn fuzzed_campaigns_are_invariant_under_every_fault_model() {
+    for model in FaultModelKind::ALL {
+        if model == FaultModelKind::default() {
+            continue;
+        }
+        check::<Fuzzed>(&format!("fuzz_differential_{}", model.label()), case_count(16), |f| {
+            splice_stride_workers_invisible_under(&f.0, model)
+        });
+    }
+}
+
+/// Draws a stream of deliberately non-uniform [`FaultPlan`]s — sites
+/// clustered at both ends of the eligible range (plus one past it),
+/// dense and sparse multi-bit masks, wrong-edge, address and
+/// power-failure actions, latencies from 0 to far beyond the campaign
+/// Dmax — none of which any [`FaultModelKind`] sampler would emit with
+/// these marginals.
+fn adversarial_plans(eligible: u64) -> Vec<FaultPlan> {
+    let mut plans = Vec::new();
+    let mut state = 0x00AD_5EEDu64;
+    let mut next = move || {
+        // xorshift64*: cheap, deterministic, independent of the
+        // simulator's own RNG so plan and model spaces can't collude.
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    };
+    let sites = [0, 1, eligible / 2, eligible.saturating_sub(1), eligible + 3];
+    let latencies = [0u64, 1, 7, 33, 1000];
+    for (i, &inject_at) in sites.iter().enumerate() {
+        let action = match i % 5 {
+            0 => FaultAction::FlipBits { mask: 1u64 << (next() % 64) },
+            1 => FaultAction::FlipBits { mask: next() | 1 }, // dense multi-bit
+            2 => FaultAction::WrongEdge,
+            3 => FaultAction::CorruptAddress { mask: (next() % 0xFFFF) + 1 },
+            _ => FaultAction::PowerFailure,
+        };
+        for &detect_latency in &latencies {
+            plans.push(FaultPlan { inject_at, action, detect_latency });
+        }
+    }
+    plans
+}
+
+/// Beyond model-sampled spaces: for arbitrary plans (any action, any
+/// site, any latency) the snapshot-resume path must classify exactly
+/// like a from-scratch replay. This is the per-plan granularity of the
+/// campaign-level invariance above, on plans no sampler produces.
+#[test]
+fn fuzzed_fault_plans_agree_between_resume_and_scratch() {
+    check::<Fuzzed>("fuzz_differential_plans", case_count(24), |f| {
+        let (module, map, entry) = instrument(&f.0).map_err(|e| e.to_string())?;
+        let cfg = SfiConfig { dmax: 16, snapshot_stride: 4, ..Default::default() };
+        let campaign =
+            SfiCampaign::prepare(&module, Some(&map), entry, &[Value::Int(f.0.arg)], &cfg)
+                .map_err(|e| format!("golden run failed: {e}"))?;
+        for plan in adversarial_plans(campaign.golden().eligible_insts) {
+            let resumed = campaign.run_one(plan);
+            let scratch = campaign.run_one_from_scratch(plan);
+            prop_assert!(
+                resumed == scratch,
+                "resume/scratch diverged on {plan:?}: {resumed:?} vs {scratch:?}"
+            );
+        }
+        Ok(())
     });
 }
 
@@ -226,7 +307,7 @@ fn assert_rule_regression(prog: &FuzzProgram, rule: SpliceRule) {
         SpliceRule::Sdc => counts.2,
     };
     assert!(count > 0, "{rule:?} no longer engages on {prog:#?} (counts {counts:?})");
-    splice_stride_workers_invisible(prog).unwrap_or_else(|e| {
+    splice_stride_workers_invisible_under(prog, FaultModelKind::default()).unwrap_or_else(|e| {
         panic!("differential property regressed on {prog:#?}:\n{e}");
     });
 }

@@ -41,7 +41,7 @@ fn check_latency_zero(module: &encore_ir::Module, entry: encore_ir::FuncId, arg:
 
     for p in 0..probes {
         let inject_at = p * space / probes;
-        let plan = FaultPlan { inject_at, bit: (p % 61) as u8, detect_latency: 0 };
+        let plan = FaultPlan::bit_flip(inject_at, (p % 61) as u8, 0);
         let run = run_function(
             imodule,
             Some(map),
@@ -69,9 +69,9 @@ fn check_latency_zero(module: &encore_ir::Module, entry: encore_ir::FuncId, arg:
         );
         assert!(
             run.observably_equal(&golden),
-            "latency-0 fault at {inject_at} (bit {}) in protected region of {}:{} \
+            "latency-0 fault at {inject_at} ({:?}) in protected region of {}:{} \
              was not recovered",
-            plan.bit,
+            plan.action,
             func,
             block,
         );
@@ -109,11 +109,7 @@ fn rollback_actually_happens_under_short_latency() {
     );
     let mut rollbacks = 0;
     for p in 0..40u64 {
-        let plan = FaultPlan {
-            inject_at: p * golden.eligible_insts / 40,
-            bit: 3,
-            detect_latency: 2,
-        };
+        let plan = FaultPlan::bit_flip(p * golden.eligible_insts / 40, 3, 2);
         let run = run_function(
             &outcome.instrumented.module,
             Some(&outcome.instrumented.map),

@@ -192,7 +192,7 @@ fn sweep_outcomes(
 ) -> Vec<FaultOutcome> {
     (0..campaign.golden().eligible_insts.min(max_sites))
         .map(|inject_at| {
-            let plan = FaultPlan { inject_at, bit, detect_latency };
+            let plan = FaultPlan::bit_flip(inject_at, bit, detect_latency);
             let outcome = campaign.run_one(plan);
             assert_eq!(
                 outcome,
@@ -446,7 +446,7 @@ fn splice_kernel() -> (encore_ir::Module, RegionMap, FuncId) {
 fn sweep_rules(campaign: &SfiCampaign<'_>, bit: u8, detect_latency: u64) -> Vec<SpliceRule> {
     (0..campaign.golden().eligible_insts)
         .filter_map(|inject_at| {
-            let plan = FaultPlan { inject_at, bit, detect_latency };
+            let plan = FaultPlan::bit_flip(inject_at, bit, detect_latency);
             let (outcome, engagement) = campaign.run_one_detailed(plan, true);
             assert_eq!(
                 outcome,
