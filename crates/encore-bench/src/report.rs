@@ -98,7 +98,7 @@ pub fn campaign_json(workload: &str, report: &CampaignReport) -> String {
     out.push_str(&format!(
         "  \"config\": {{\"injections\": {}, \"dmax\": {}, \"seed\": {}, \
          \"fuel_factor\": {}, \"workers\": {}, \"snapshot_stride\": {}, \
-         \"splice\": {}, \"fault_model\": \"{}\"}},\n",
+         \"splice\": {}, \"incremental_diff\": {}, \"fault_model\": \"{}\"}},\n",
         c.injections,
         c.dmax,
         c.seed,
@@ -106,6 +106,7 @@ pub fn campaign_json(workload: &str, report: &CampaignReport) -> String {
         c.workers,
         c.snapshot_stride,
         c.splice,
+        c.incremental_diff,
         c.model.label()
     ));
     out.push_str("  \"outcomes\": {");
@@ -124,12 +125,16 @@ pub fn campaign_json(workload: &str, report: &CampaignReport) -> String {
     let sp = &report.splice;
     out.push_str(&format!(
         "  \"splice\": {{\"converged\": {}, \"dead_diff\": {}, \"sdc\": {}, \
-         \"total\": {}, \"dyn_insts_saved\": {}}},\n",
+         \"total\": {}, \"dyn_insts_saved\": {}, \"probes\": {}, \
+         \"pages_hashed\": {}, \"words_compared\": {}}},\n",
         sp.converged,
         sp.dead_diff,
         sp.sdc,
         sp.total(),
-        sp.dyn_insts_saved
+        sp.dyn_insts_saved,
+        sp.cost.probes,
+        sp.cost.pages_hashed,
+        sp.cost.words_compared
     ));
     out.push_str("  \"latency_histograms\": {\n");
     for (i, o) in FaultOutcome::ALL.iter().enumerate() {
@@ -204,6 +209,14 @@ pub fn splice_table(injections: usize, splice: &SpliceStats) -> Table {
         splice.dyn_insts_saved.to_string(),
         "-".to_string(),
     ]);
+    // Probe-cost footprint: what the splice paid for those savings.
+    for (label, n) in [
+        ("probes attempted", splice.cost.probes),
+        ("pages hashed", splice.cost.pages_hashed),
+        ("words compared", splice.cost.words_compared),
+    ] {
+        table.row(vec![label.to_string(), n.to_string(), "-".to_string()]);
+    }
     table
 }
 
@@ -297,6 +310,10 @@ mod tests {
             "\"silent_corruption\": 1",
             "\"splice\": {\"converged\": 0, \"dead_diff\": 0, \"sdc\": 0",
             "\"dyn_insts_saved\": 0",
+            "\"incremental_diff\": true",
+            "\"probes\": 0",
+            "\"pages_hashed\": 0",
+            "\"words_compared\": 0",
             "\"latency_histograms\"",
         ] {
             assert!(json.contains(key), "missing {key} in:\n{json}");
@@ -308,13 +325,24 @@ mod tests {
 
     #[test]
     fn splice_table_breaks_down_rules() {
-        let splice = SpliceStats { converged: 2, dead_diff: 1, sdc: 5, dyn_insts_saved: 900 };
+        use encore_sim::ProbeCost;
+        let splice = SpliceStats {
+            converged: 2,
+            dead_diff: 1,
+            sdc: 5,
+            dyn_insts_saved: 900,
+            cost: ProbeCost { probes: 40, pages_hashed: 320, words_compared: 128 },
+        };
         let rendered = splice_table(10, &splice).render();
         assert!(rendered.contains("converged"), "{rendered}");
         assert!(rendered.contains("dead_diff"), "{rendered}");
         assert!(rendered.contains("sdc"), "{rendered}");
         assert!(rendered.contains("80.0%"), "total share missing:\n{rendered}");
         assert!(rendered.contains("900"), "{rendered}");
+        assert!(rendered.contains("probes attempted"), "{rendered}");
+        assert!(rendered.contains("pages hashed"), "{rendered}");
+        assert!(rendered.contains("words compared"), "{rendered}");
+        assert!(rendered.contains("320"), "{rendered}");
     }
 
     #[test]

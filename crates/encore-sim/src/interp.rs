@@ -21,7 +21,7 @@
 
 use crate::externs::Externs;
 use crate::fault::{FaultAction, FaultPlan};
-use crate::memory::Memory;
+use crate::memory::{Memory, PageHashes, ProbeCost};
 use crate::predecode::{BaseMode, DecodedAddr, DecodedModule, MicroOp};
 use crate::snapshot::{AccessChunks, Snapshot, SnapshotLog};
 use crate::value::{eval_bin, eval_un, Value};
@@ -367,6 +367,24 @@ impl MemAccessLog {
     }
 }
 
+/// Incremental-compare probe state for the divergence splice: the
+/// candidate page set carried between probes, which golden interval
+/// lists it has absorbed, and the accumulated compare-cost telemetry.
+#[derive(Default)]
+struct ProbeState {
+    /// Sorted, deduplicated `(object, page)` pages where equality with
+    /// the last-probed golden snapshot is not established. See
+    /// [`Memory::diff_cells_dirty`] for the invariant.
+    pending: Vec<(u32, u32)>,
+    /// Golden snapshot index the pending set is relative to (`None` =
+    /// the golden run's start): interval page lists between here and
+    /// the next probe target are unioned in before each compare.
+    absorbed_through: Option<usize>,
+    /// Probe/hash/word counters, merged into the campaign's
+    /// [`SpliceStats`](crate::SpliceStats).
+    cost: ProbeCost,
+}
+
 /// The interpreter. `'m` is the module's lifetime, `'c` the pre-decoded
 /// stream's: a campaign owns one [`DecodedModule`] and threads it
 /// through many short-lived machines.
@@ -399,6 +417,24 @@ pub(crate) struct Machine<'m, 'c> {
     mem_log: Option<Box<MemAccessLog>>,
     fuel: u64,
     final_ret: Option<Value>,
+    /// Register generation mask: bit `min(reg, 63)` is set by every
+    /// register write since resume. Purely a fail-fast compare hint —
+    /// golden registers churn every instruction, so unlike memory
+    /// pages no register compare can ever be *skipped* soundly (see
+    /// DESIGN.md §13); the mask just orders the frame compare to look
+    /// at recently written registers first.
+    reg_dirty: u64,
+    /// Object count at the machine's dirty-tracking baseline (the
+    /// resume snapshot, or module globals for a scratch start):
+    /// objects below it are shape-identical to every golden snapshot's
+    /// by construction.
+    base_objects: usize,
+    /// Incremental splice-probe state (injection runs only).
+    probe: ProbeState,
+    /// Running golden page-hash table (capturing golden runs only):
+    /// updated from the drained dirty set at each snapshot capture and
+    /// cloned into the captured [`Snapshot`].
+    golden_hashes: Option<PageHashes>,
 }
 
 impl std::fmt::Debug for Machine<'_, '_> {
@@ -587,6 +623,7 @@ fn exec_fast(
     last_alloc_of_site: &[Option<usize>],
     ckpt_high_water: &mut u64,
     splice: &mut SpliceTrack,
+    reg_dirty: &mut u64,
     site: (FuncId, BlockId),
     now: u64,
 ) -> Result<bool, Trap> {
@@ -599,6 +636,7 @@ fn exec_fast(
                 .map_err(|e| Trap { kind: TrapKind::Eval(e.message), at: now })?;
             let v = inject(fault, eligible_seen, now, telemetry, site, v, &mut fired);
             frame.regs[dst.index()] = v;
+            *reg_dirty |= 1 << dst.index().min(63);
         }
         MicroOp::Un { op, dst, src } => {
             let a = opnd(frame, src);
@@ -606,11 +644,13 @@ fn exec_fast(
                 eval_un(*op, a).map_err(|e| Trap { kind: TrapKind::Eval(e.message), at: now })?;
             let v = inject(fault, eligible_seen, now, telemetry, site, v, &mut fired);
             frame.regs[dst.index()] = v;
+            *reg_dirty |= 1 << dst.index().min(63);
         }
         MicroOp::Mov { dst, src } => {
             let v = opnd(frame, src);
             let v = inject(fault, eligible_seen, now, telemetry, site, v, &mut fired);
             frame.regs[dst.index()] = v;
+            *reg_dirty |= 1 << dst.index().min(63);
         }
         MicroOp::Load { dst, addr } => {
             let (obj, idx) = resolve_decoded(frame, last_alloc_of_site, now, addr)?;
@@ -620,6 +660,7 @@ fn exec_fast(
                 .map_err(|e| Trap { kind: TrapKind::Memory(e.message), at: now })?;
             let v = inject(fault, eligible_seen, now, telemetry, site, v, &mut fired);
             frame.regs[dst.index()] = v;
+            *reg_dirty |= 1 << dst.index().min(63);
         }
         MicroOp::Store { addr, src } => {
             let (obj, idx) = resolve_decoded(frame, last_alloc_of_site, now, addr)?;
@@ -634,6 +675,7 @@ fn exec_fast(
             // fault-eligible.
             let (obj, idx) = resolve_decoded(frame, last_alloc_of_site, now, addr)?;
             frame.regs[dst.index()] = Value::Ptr { obj, idx };
+            *reg_dirty |= 1 << dst.index().min(63);
         }
         // Instrumentation (not fault-eligible in the general path
         // either). The recovery block was pre-resolved at decode time;
@@ -788,6 +830,10 @@ impl<'m, 'c> Machine<'m, 'c> {
             mem_log: None,
             fuel: config.fuel,
             final_ret: None,
+            reg_dirty: 0,
+            base_objects: module.globals.len(),
+            probe: ProbeState::default(),
+            golden_hashes: None,
         }
     }
 
@@ -819,11 +865,16 @@ impl<'m, 'c> Machine<'m, 'c> {
             !config.collect_profile && !config.collect_trace,
             "profiles/traces cannot be resumed from a snapshot"
         );
+        // The restored snapshot *is* the dirty-tracking baseline: every
+        // cell written from here on (program stores, fault corruption,
+        // rollback restores) re-enters the dirty set.
+        let mut mem = snap.mem.clone();
+        mem.reset_dirty();
         Self {
             module,
             code,
             map,
-            mem: snap.mem.clone(),
+            mem,
             frames: snap.frames.clone(),
             externs: snap.externs.clone(),
             dyn_insts: snap.dyn_insts,
@@ -852,6 +903,13 @@ impl<'m, 'c> Machine<'m, 'c> {
             mem_log: None,
             fuel: config.fuel,
             final_ret: None,
+            reg_dirty: 0,
+            base_objects: snap.mem.object_count(),
+            probe: ProbeState {
+                absorbed_through: Some(snap.index),
+                ..ProbeState::default()
+            },
+            golden_hashes: None,
         }
     }
 
@@ -859,6 +917,8 @@ impl<'m, 'c> Machine<'m, 'c> {
     /// boundary.
     fn capture_snapshot(&self) -> Snapshot {
         Snapshot {
+            index: 0, // assigned by SnapshotLog::push
+            page_hashes: PageHashes::default(), // filled by the capture loop
             frames: self.frames.clone(),
             mem: self.mem.clone(),
             externs: self.externs.clone(),
@@ -950,6 +1010,7 @@ impl<'m, 'c> Machine<'m, 'c> {
     fn set_reg(&mut self, r: Reg, v: Value) {
         let frame = self.frames.last_mut().expect("no frame");
         frame.regs[r.index()] = v;
+        self.reg_dirty |= 1 << r.index().min(63);
     }
 
     /// Resolves an address expression to `(object handle, cell index)`.
@@ -1118,6 +1179,7 @@ impl<'m, 'c> Machine<'m, 'c> {
                 frame.ip = 0;
                 for r in lost {
                     frame.regs[r] = Value::ZERO;
+                    self.reg_dirty |= 1 << r.min(63);
                 }
                 self.telemetry.rolled_back = true;
                 self.telemetry.rollback_region = Some(region);
@@ -1234,6 +1296,7 @@ impl<'m, 'c> Machine<'m, 'c> {
                 region_touched,
                 ckpt_high_water,
                 splice,
+                reg_dirty,
                 ..
             } = self;
             let frame = frames.last_mut().expect("frame");
@@ -1300,6 +1363,7 @@ impl<'m, 'c> Machine<'m, 'c> {
                         last_alloc_of_site,
                         ckpt_high_water,
                         splice,
+                        reg_dirty,
                         site,
                         *dyn_insts,
                     ) {
@@ -1629,6 +1693,7 @@ impl<'m, 'c> Machine<'m, 'c> {
                     Some(caller) => {
                         if let Some(dst) = frame.ret_dst {
                             caller.regs[dst.index()] = val.unwrap_or(Value::ZERO);
+                            self.reg_dirty |= 1 << dst.index().min(63);
                         }
                     }
                     None => self.final_ret = val,
@@ -1683,11 +1748,8 @@ impl<'m, 'c> Machine<'m, 'c> {
         &mut self,
         snapshots: &SnapshotLog,
         golden_final_dyn: u64,
+        incremental: bool,
     ) -> SpliceRun {
-        /// Probe-index backoff cap: a truly unclassifiable run pays for
-        /// a handful of failed comparisons, then one compare per
-        /// `MAX_PROBE_GAP` snapshots for the rest of its suffix.
-        const MAX_PROBE_GAP: usize = 16;
         self.splice.armed = true;
         // Phase 1: run normally until a rollback's re-executed arming
         // realigns the run (or the run just finishes).
@@ -1714,12 +1776,27 @@ impl<'m, 'c> Machine<'m, 'c> {
         else {
             return SpliceRun::Done(self.run_to_end());
         };
-        // Phase 2: execute on, pausing at each probed golden snapshot's
-        // realigned position (`snapshot dyn + delta`) to classify the
-        // state diff.
+        // Phase 2: execute on, pausing at golden snapshots' realigned
+        // positions (`snapshot dyn + delta`) to classify the state
+        // diff. The probe *schedule* is dense-then-backoff: the first
+        // `DENSE_PROBES` misses probe consecutive snapshots (the
+        // earliest certifying snapshot saves the most suffix, and runs
+        // that certify at all usually do so within a few snapshots of
+        // realignment), after which the stride between probes doubles
+        // up to `GAP_CAP` — a run whose diff has stayed live that long
+        // rarely certifies later, so spaced probes stop charging a
+        // sprint pause per snapshot to hopeless runs. Each probe's
+        // *compare* is O(pages dirtied since the previous probe) on
+        // the incremental path, not O(state). The schedule advances
+        // only on misses, which are identical between the incremental
+        // and full-scan compare paths, so both paths probe the same
+        // states and report identically.
+        const DENSE_PROBES: u32 = 8;
+        const GAP_CAP: usize = 16;
         let mut idx = snapshots.first_at_or_after_dyn(self.dyn_insts.saturating_sub(delta));
-        let mut gap = 1usize;
         let mut diff: Vec<(u32, u32)> = Vec::new();
+        let mut misses = 0u32;
+        let mut gap = 1usize;
         loop {
             let Some(snap) = snapshots.get(idx) else {
                 // Past the last golden snapshot: finish normally.
@@ -1747,13 +1824,24 @@ impl<'m, 'c> Machine<'m, 'c> {
                 && self.fault.is_none()
                 && golden_final_dyn.saturating_sub(snap.dyn_insts) + self.dyn_insts < self.fuel
             {
-                if let Some(rule) = self.classify_divergence(snapshots, idx, snap, &mut diff) {
+                self.probe.cost.probes += 1;
+                if let Some(rule) =
+                    self.classify_divergence(snapshots, idx, snap, &mut diff, incremental)
+                {
                     return SpliceRun::Spliced(rule, golden_final_dyn - snap.dyn_insts);
                 }
             }
+            misses += 1;
+            if misses >= DENSE_PROBES && gap < GAP_CAP {
+                gap *= 2;
+            }
             idx += gap;
-            gap = (gap * 2).min(MAX_PROBE_GAP);
         }
+    }
+
+    /// The accumulated probe-cost counters of this run.
+    pub(crate) fn probe_cost(&self) -> ProbeCost {
+        self.probe.cost
     }
 
     /// The splice's probe predicate: classifies the run's divergence
@@ -1784,22 +1872,68 @@ impl<'m, 'c> Machine<'m, 'c> {
     /// mark) are deliberately excluded; `dyn_insts` enters through the
     /// caller's fuel-headroom check instead.
     fn classify_divergence(
-        &self,
+        &mut self,
         snapshots: &SnapshotLog,
         idx: usize,
         snap: &Snapshot,
         diff: &mut Vec<(u32, u32)>,
+        incremental: bool,
     ) -> Option<SpliceRule> {
         // Cheapest fields first so diverged runs fail fast.
         if self.frame_seq != snap.frame_seq
             || self.heap_seq != snap.heap_seq
             || self.last_alloc_of_site != snap.last_alloc_of_site
             || !self.externs.state_equal_ignoring_output(&snap.externs)
-            || self.frames != snap.frames
+            || !self.frames_equal(snap)
         {
             return None;
         }
-        if !self.mem.diff_cells(&snap.mem, DIFF_CAP, diff) {
+        let mem_comparable = if incremental {
+            // Bring the candidate set up to this probe target: golden
+            // pages written between the last absorbed snapshot and this
+            // one (interval lists — absorbed in either direction, since
+            // realignment can land a probe before the resume base),
+            // pages this run wrote since the last drain, and the
+            // snapshot's NaN poison pages. Everything outside the
+            // resulting set is bitwise-identical on both sides.
+            let Machine { mem, probe, base_objects, .. } = self;
+            match probe.absorbed_through {
+                None => {
+                    for j in 0..=idx {
+                        probe.pending.extend_from_slice(snapshots.interval_pages(j));
+                    }
+                }
+                Some(a) if idx > a => {
+                    for j in a + 1..=idx {
+                        probe.pending.extend_from_slice(snapshots.interval_pages(j));
+                    }
+                }
+                Some(a) if idx < a => {
+                    for j in idx + 1..=a {
+                        probe.pending.extend_from_slice(snapshots.interval_pages(j));
+                    }
+                }
+                Some(_) => {}
+            }
+            probe.absorbed_through = Some(idx);
+            mem.drain_dirty_pages(&mut probe.pending);
+            probe.pending.extend_from_slice(snap.page_hashes.poison_pages());
+            probe.pending.sort_unstable();
+            probe.pending.dedup();
+            mem.diff_cells_dirty(
+                &snap.mem,
+                &snap.page_hashes,
+                &mut probe.pending,
+                *base_objects,
+                DIFF_CAP,
+                diff,
+                &mut probe.cost,
+            )
+        } else {
+            self.probe.cost.words_compared += self.mem.cell_count();
+            self.mem.diff_cells(&snap.mem, DIFF_CAP, diff)
+        };
+        if !mem_comparable {
             return None;
         }
         let out_eq = self.externs.output == snap.externs.output;
@@ -1826,6 +1960,32 @@ impl<'m, 'c> Machine<'m, 'c> {
         } else {
             Some(SpliceRule::Sdc)
         }
+    }
+
+    /// Exactly `self.frames == snap.frames`, ordered to fail fast:
+    /// frames are compared innermost-first (the top frame diverges
+    /// first in practice), and the top frame's recently written
+    /// registers — the `reg_dirty` generation mask — are checked before
+    /// the full structural compare. Pure reordering: the verdict is
+    /// identical to the derived equality, because register state can
+    /// never be *skipped* (golden registers change every instruction,
+    /// so there is no analogue of a clean memory page here).
+    fn frames_equal(&self, snap: &Snapshot) -> bool {
+        if self.frames.len() != snap.frames.len() {
+            return false;
+        }
+        if let (Some(a), Some(b)) = (self.frames.last(), snap.frames.last()) {
+            let mut mask = self.reg_dirty;
+            let n = a.regs.len().min(b.regs.len()).min(63);
+            while mask != 0 {
+                let r = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                if r < n && a.regs[r] != b.regs[r] {
+                    return false;
+                }
+            }
+        }
+        self.frames.iter().rev().eq(snap.frames.iter().rev())
     }
 
     /// Start recording the golden activation timeline (dyn count at
@@ -1871,13 +2031,27 @@ impl<'m, 'c> Machine<'m, 'c> {
     /// `stride`-instruction interval.
     fn run_to_end_capturing(&mut self, stride: u64, log: &mut SnapshotLog) -> Option<Trap> {
         debug_assert!(stride > 0 && self.fault.is_none());
+        // Hash every page of the current state once; each capture below
+        // re-hashes only the pages written since the previous capture
+        // (the drained dirty set), so golden hash maintenance is
+        // O(pages written), not O(state) per snapshot.
+        self.golden_hashes = Some(PageHashes::of_memory(&self.mem));
+        self.mem.reset_dirty();
         let mut next_at = stride;
         loop {
             if self.dyn_insts >= next_at && !self.frames.is_empty() {
                 if let Some(ml) = &mut self.mem_log {
                     ml.seal();
                 }
-                log.push(self.capture_snapshot());
+                let mut interval = Vec::new();
+                self.mem.drain_dirty_pages(&mut interval);
+                let mut hashes = self.golden_hashes.take().expect("golden hash state");
+                hashes.extend_new_objects(&self.mem);
+                hashes.update(&self.mem, &interval);
+                let mut snap = self.capture_snapshot();
+                snap.page_hashes = hashes.clone();
+                self.golden_hashes = Some(hashes);
+                log.push(snap, interval);
                 next_at = self.dyn_insts + stride;
             }
             // Bounding the sprint by `next_at` keeps capture points at

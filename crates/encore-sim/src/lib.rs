@@ -58,7 +58,7 @@ pub use interp::{
     RunResult, SpliceRule, Trap, TrapKind, DIFF_CAP,
 };
 pub use masking::{ComposedCoverage, MaskingModel};
-pub use memory::{MemError, MemObject, Memory};
+pub use memory::{page_hash, MemError, MemObject, Memory, PageHashes, ProbeCost, PAGE_CELLS};
 pub use predecode::DecodedModule;
 pub use sfi::{
     CampaignReport, FaultOutcome, GoldenRunError, LatencyHistogram, SfiCampaign, SfiConfig,

@@ -5,17 +5,56 @@
 //! Object handles are plain indices into the table; objects are never
 //! deallocated (arena style), which keeps dangling-pointer semantics
 //! deterministic during fault-injection runs.
+//!
+//! ## Dirty tracking and copy-on-write
+//!
+//! Cell arrays live behind `Arc` so cloning a `Memory` (snapshot
+//! capture, per-injection resume) is a table of refcount bumps, not an
+//! O(state) copy; the first write to an object after a clone pays a
+//! one-time copy of that object only. Every write also sets a bit in a
+//! per-object, per-page (64-cell) dirty bitmap, and newly allocated
+//! objects start fully dirty. [`Memory::drain_dirty_pages`] hands the
+//! accumulated dirty page set to the splice's incremental compare
+//! ([`Memory::diff_cells_dirty`]) and clears it, so repeated probes
+//! cost O(pages written since the last probe) instead of O(state).
 
 use crate::value::Value;
 use encore_ir::{Cell, Module, ObjKind};
+use std::sync::Arc;
+
+/// Cells per dirty-tracking page (one `u64` bitmap word per page).
+pub const PAGE_CELLS: usize = 64;
 
 /// One memory object.
-#[derive(Clone, PartialEq, Debug)]
+#[derive(Clone, Debug)]
 pub struct MemObject {
     /// What the object is (for trace events and debugging).
     pub kind: ObjKind,
-    /// The cells.
-    pub cells: Vec<Value>,
+    /// The cells, shared copy-on-write across snapshots and resumed
+    /// runs.
+    cells: Arc<Vec<Value>>,
+    /// One bit per cell, one word per [`PAGE_CELLS`]-cell page; bit set
+    /// = cell written since the last drain/reset.
+    dirty: Vec<u64>,
+    /// Pages whose dirty word went 0 → nonzero since the last
+    /// drain/reset, so draining is O(dirty pages), not O(pages).
+    touched: Vec<u32>,
+}
+
+impl MemObject {
+    /// The object's cells.
+    #[must_use]
+    pub fn cells(&self) -> &[Value] {
+        &self.cells
+    }
+}
+
+/// Equality is contents-only: the dirty bookkeeping is a comparison
+/// accelerator, never part of the architectural state.
+impl PartialEq for MemObject {
+    fn eq(&self, other: &Self) -> bool {
+        self.kind == other.kind && self.cells == other.cells
+    }
 }
 
 /// A memory access error.
@@ -34,16 +73,27 @@ impl std::fmt::Display for MemError {
 impl std::error::Error for MemError {}
 
 /// The machine's memory state.
-#[derive(Clone, PartialEq, Debug)]
+#[derive(Clone, Debug)]
 pub struct Memory {
     objects: Vec<MemObject>,
     /// Number of globals (the first `global_count` objects).
     global_count: usize,
+    /// Objects with a nonempty `touched` list (drain work list).
+    touched_objs: Vec<u32>,
+}
+
+/// Equality is architectural state only (objects and segmentation);
+/// dirty bookkeeping is excluded.
+impl PartialEq for Memory {
+    fn eq(&self, other: &Self) -> bool {
+        self.global_count == other.global_count && self.objects == other.objects
+    }
 }
 
 impl Memory {
     /// Creates memory with one object per module global, applying
-    /// declared initializers.
+    /// declared initializers. The fresh memory is dirty-clean: its
+    /// baseline is the initial state itself.
     pub fn for_module(module: &Module) -> Self {
         let objects = module
             .globals
@@ -54,10 +104,15 @@ impl Memory {
                 for (j, v) in g.init.iter().enumerate().take(cells.len()) {
                     cells[j] = Value::Int(*v);
                 }
-                MemObject { kind: ObjKind::Global(i as u32), cells }
+                MemObject {
+                    kind: ObjKind::Global(i as u32),
+                    dirty: vec![0; cells.len().div_ceil(PAGE_CELLS)],
+                    touched: Vec::new(),
+                    cells: Arc::new(cells),
+                }
             })
             .collect();
-        Self { objects, global_count: module.globals.len() }
+        Self { objects, global_count: module.globals.len(), touched_objs: Vec::new() }
     }
 
     /// Handle of global `g`.
@@ -67,9 +122,22 @@ impl Memory {
     }
 
     /// Allocates a fresh object of `cells` cells, returning its handle.
+    ///
+    /// The new object starts *fully dirty*: its contents have never
+    /// been verified against anything, so every page must be a
+    /// candidate at the next incremental compare.
     pub fn alloc(&mut self, kind: ObjKind, cells: usize) -> usize {
         let handle = self.objects.len();
-        self.objects.push(MemObject { kind, cells: vec![Value::ZERO; cells] });
+        let pages = cells.div_ceil(PAGE_CELLS);
+        self.objects.push(MemObject {
+            kind,
+            cells: Arc::new(vec![Value::ZERO; cells]),
+            dirty: vec![!0u64; pages],
+            touched: (0..pages as u32).collect(),
+        });
+        if pages > 0 {
+            self.touched_objs.push(handle as u32);
+        }
         handle
     }
 
@@ -98,6 +166,12 @@ impl Memory {
 
     /// Writes cell `idx` of object `handle`.
     ///
+    /// The single mutation funnel: every store — program, fault
+    /// corruption, rollback restore — lands here, which is what makes
+    /// the dirty bitmap a sound over-approximation of "cells that can
+    /// differ from the resume baseline". The bit set is word-indexed
+    /// and branch-free on the already-dirty path.
+    ///
     /// # Errors
     ///
     /// Same conditions as [`Memory::read`].
@@ -115,8 +189,44 @@ impl Memory {
                 ),
             });
         }
-        obj.cells[idx as usize] = v;
+        let i = idx as usize;
+        Arc::make_mut(&mut obj.cells)[i] = v;
+        let w = &mut obj.dirty[i / PAGE_CELLS];
+        if *w == 0 {
+            if obj.touched.is_empty() {
+                self.touched_objs.push(handle as u32);
+            }
+            obj.touched.push((i / PAGE_CELLS) as u32);
+        }
+        *w |= 1 << (i % PAGE_CELLS);
         Ok(())
+    }
+
+    /// Appends every dirty `(object, page)` pair to `out` (unsorted)
+    /// and clears the dirty set — O(dirty pages).
+    pub fn drain_dirty_pages(&mut self, out: &mut Vec<(u32, u32)>) {
+        for &h in &self.touched_objs {
+            let obj = &mut self.objects[h as usize];
+            for &p in &obj.touched {
+                obj.dirty[p as usize] = 0;
+                out.push((h, p));
+            }
+            obj.touched.clear();
+        }
+        self.touched_objs.clear();
+    }
+
+    /// Clears the dirty set without reporting it — the reset at a
+    /// resume boundary, where the restored snapshot *is* the baseline.
+    pub fn reset_dirty(&mut self) {
+        for &h in &self.touched_objs {
+            let obj = &mut self.objects[h as usize];
+            for &p in &obj.touched {
+                obj.dirty[p as usize] = 0;
+            }
+            obj.touched.clear();
+        }
+        self.touched_objs.clear();
     }
 
     /// The trace-event cell identity for `(handle, idx)`.
@@ -134,7 +244,7 @@ impl Memory {
     pub fn globals_snapshot(&self) -> Vec<Vec<Value>> {
         self.objects[..self.global_count]
             .iter()
-            .map(|o| o.cells.clone())
+            .map(|o| o.cells.as_ref().clone())
             .collect()
     }
 
@@ -146,12 +256,18 @@ impl Memory {
             && self.objects[..self.global_count]
                 .iter()
                 .zip(golden)
-                .all(|(o, g)| o.cells == *g)
+                .all(|(o, g)| *o.cells == *g)
     }
 
     /// Total number of objects ever created.
     pub fn object_count(&self) -> usize {
         self.objects.len()
+    }
+
+    /// Total number of cells across all objects (the full-scan compare
+    /// footprint, reported as probe cost by the reference path).
+    pub fn cell_count(&self) -> u64 {
+        self.objects.iter().map(|o| o.cells.len() as u64).sum()
     }
 
     /// `true` when `handle` names a global object (the architecturally
@@ -169,6 +285,13 @@ impl Memory {
     /// `out` is the *complete* diff. The divergence splice treats
     /// `false` as "cannot certify", so the bound is a performance cap,
     /// never a soundness concern.
+    ///
+    /// This is the full-scan reference compare — O(state). The splice's
+    /// hot path is [`Memory::diff_cells_dirty`], which short-circuits
+    /// through the dirty bitmap and golden page hashes to visit only
+    /// pages that can possibly differ; this walk remains as the
+    /// `--no-incremental-diff` escape hatch and the differential-test
+    /// oracle.
     pub fn diff_cells(&self, other: &Memory, cap: usize, out: &mut Vec<(u32, u32)>) -> bool {
         out.clear();
         if self.objects.len() != other.objects.len() || self.global_count != other.global_count {
@@ -192,7 +315,270 @@ impl Memory {
         }
         true
     }
+
+    /// Incremental variant of [`Memory::diff_cells`]: compares `self`
+    /// (a resumed injection run) against `golden` (a golden snapshot's
+    /// memory) touching only the candidate pages in `pending`, using
+    /// `hashes` (the golden snapshot's precomputed page hashes) to
+    /// dismiss candidates without reading a single golden cell.
+    ///
+    /// `pending` must be sorted, deduplicated, and contain every page
+    /// where equality with `golden` is not already established: pages
+    /// the run wrote since the last compare (drained dirty set), pages
+    /// the golden run wrote between the previous probe target and this
+    /// one (interval page lists), pages of objects allocated on either
+    /// side since the resume base (allocation marks the new object
+    /// fully dirty), and the golden snapshot's poison pages. Any page
+    /// outside `pending` is bitwise-identical on both sides to the same
+    /// baseline bytes and therefore equal. On return, `pending` has
+    /// been pruned to the pages that still (or may still) differ —
+    /// carried to the next probe, repeated compares are incremental.
+    ///
+    /// `base_objects` is the object count at the run's resume snapshot:
+    /// objects below it are shape-identical by construction (handles
+    /// are never reused and kind/size never change after allocation),
+    /// so the shape check is O(objects allocated since resume).
+    ///
+    /// Verdict and diff contract are identical to `diff_cells`:
+    /// `false` = incomparable (shape mismatch or diff past `cap`),
+    /// `true` = `out` is the complete diff in ascending `(object,
+    /// cell)` order. A hash match is trusted as page equality (FNV-1a
+    /// over 64 cells; a colliding unequal page needs a 2^-64 accident —
+    /// accepted by design, see DESIGN.md §13). Poison pages (golden
+    /// cells unequal to themselves, i.e. NaN floats) bypass the hash
+    /// and always word-compare, preserving `Value` equality semantics
+    /// exactly.
+    #[allow(clippy::too_many_arguments)]
+    pub fn diff_cells_dirty(
+        &self,
+        golden: &Memory,
+        hashes: &PageHashes,
+        pending: &mut Vec<(u32, u32)>,
+        base_objects: usize,
+        cap: usize,
+        out: &mut Vec<(u32, u32)>,
+        cost: &mut ProbeCost,
+    ) -> bool {
+        out.clear();
+        if self.objects.len() != golden.objects.len() || self.global_count != golden.global_count {
+            return false;
+        }
+        for h in base_objects..self.objects.len() {
+            let (a, b) = (&self.objects[h], &golden.objects[h]);
+            if a.kind != b.kind || a.cells.len() != b.cells.len() {
+                return false;
+            }
+        }
+        debug_assert!(pending.windows(2).all(|w| w[0] < w[1]), "pending must be sorted+dedup");
+        let mut write = 0usize;
+        let mut i = 0usize;
+        while i < pending.len() {
+            let (obj, page) = pending[i];
+            i += 1;
+            let a = &self.objects[obj as usize];
+            let b = &golden.objects[obj as usize];
+            let start = page as usize * PAGE_CELLS;
+            let end = (start + PAGE_CELLS).min(a.cells.len());
+            debug_assert!(start < a.cells.len(), "pending page out of object bounds");
+            let run = &a.cells[start..end];
+            let gold = &b.cells[start..end];
+            if !hashes.is_poison(obj, page) {
+                cost.pages_hashed += 1;
+                if page_hash(run) == hashes.hash(obj, page) {
+                    continue; // verified equal → pruned from pending
+                }
+            }
+            cost.words_compared += run.len() as u64;
+            let before = out.len();
+            let mut capped = false;
+            for (j, (va, vb)) in run.iter().zip(gold.iter()).enumerate() {
+                if va != vb {
+                    if out.len() == cap {
+                        capped = true;
+                        break;
+                    }
+                    out.push((obj, (start + j) as u32));
+                }
+            }
+            if out.len() == before && !capped {
+                // Bitwise-unequal but value-equal (e.g. -0.0 vs +0.0):
+                // equality established, prune. A later run write
+                // re-dirties the page; a later golden write re-enters
+                // it via the interval lists.
+                continue;
+            }
+            pending[write] = (obj, page);
+            write += 1;
+            if capped {
+                // Keep the unprocessed tail as candidates and bail.
+                for k in i..pending.len() {
+                    pending[write] = pending[k];
+                    write += 1;
+                }
+                pending.truncate(write);
+                out.clear();
+                return false;
+            }
+        }
+        pending.truncate(write);
+        true
+    }
 }
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0100_0000_01b3;
+
+#[inline]
+fn fnv_word(h: u64, w: u64) -> u64 {
+    (h ^ w).wrapping_mul(FNV_PRIME)
+}
+
+/// FNV-1a content hash of one page of cells, over each cell's
+/// `(variant tag, payload bits)` words — distinct `Value`s never encode
+/// to the same word stream.
+#[must_use]
+pub fn page_hash(cells: &[Value]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for v in cells {
+        h = match *v {
+            Value::Int(i) => fnv_word(fnv_word(h, 1), i as u64),
+            Value::Float(f) => fnv_word(fnv_word(h, 2), f.to_bits()),
+            Value::Ptr { obj, idx } => {
+                fnv_word(fnv_word(fnv_word(h, 3), obj as u64), idx as u64)
+            }
+        };
+    }
+    h
+}
+
+fn page_has_nan(cells: &[Value]) -> bool {
+    cells.iter().any(|v| matches!(v, Value::Float(f) if f.is_nan()))
+}
+
+/// Per-page content hashes of one golden memory state, plus its poison
+/// set — pages holding a cell that is unequal to itself (NaN floats),
+/// where a bitwise hash cannot stand in for `Value` equality.
+///
+/// Built once for the golden run's initial memory and updated
+/// incrementally (only pages the golden run actually wrote) at each
+/// snapshot capture; cloning for a snapshot is O(objects) refcount
+/// bumps.
+#[derive(Clone, Debug, Default)]
+pub struct PageHashes {
+    per_obj: Vec<Arc<Vec<u64>>>,
+    poison: Vec<(u32, u32)>,
+}
+
+impl PageHashes {
+    /// Hashes every page of every object — the prepare-time baseline.
+    #[must_use]
+    pub fn of_memory(mem: &Memory) -> Self {
+        let mut hashes = Self::default();
+        hashes.extend_new_objects(mem);
+        hashes
+    }
+
+    /// Hashes all pages of objects allocated since this table was last
+    /// extended (object handles only grow and never change shape).
+    pub fn extend_new_objects(&mut self, mem: &Memory) {
+        for h in self.per_obj.len()..mem.objects.len() {
+            let obj = &mem.objects[h];
+            let pages = obj.cells.len().div_ceil(PAGE_CELLS);
+            let mut row = Vec::with_capacity(pages);
+            for p in 0..pages {
+                let start = p * PAGE_CELLS;
+                let end = (start + PAGE_CELLS).min(obj.cells.len());
+                let slice = &obj.cells[start..end];
+                row.push(page_hash(slice));
+                if page_has_nan(slice) {
+                    self.set_poison((h as u32, p as u32), true);
+                }
+            }
+            self.per_obj.push(Arc::new(row));
+        }
+    }
+
+    /// Recomputes the hash (and poison membership) of each changed
+    /// `(object, page)`. Call [`PageHashes::extend_new_objects`] first
+    /// so every changed object has a row.
+    pub fn update(&mut self, mem: &Memory, changed: &[(u32, u32)]) {
+        for &(h, p) in changed {
+            debug_assert!((h as usize) < self.per_obj.len(), "extend_new_objects first");
+            let obj = &mem.objects[h as usize];
+            let start = p as usize * PAGE_CELLS;
+            let end = (start + PAGE_CELLS).min(obj.cells.len());
+            let slice = &obj.cells[start..end];
+            Arc::make_mut(&mut self.per_obj[h as usize])[p as usize] = page_hash(slice);
+            self.set_poison((h, p), page_has_nan(slice));
+        }
+    }
+
+    /// The pages whose golden cells are not self-equal (NaN): always
+    /// probe candidates, never hash-dismissed.
+    #[must_use]
+    pub fn poison_pages(&self) -> &[(u32, u32)] {
+        &self.poison
+    }
+
+    fn hash(&self, obj: u32, page: u32) -> u64 {
+        self.per_obj[obj as usize][page as usize]
+    }
+
+    fn is_poison(&self, obj: u32, page: u32) -> bool {
+        !self.poison.is_empty() && self.poison.binary_search(&(obj, page)).is_ok()
+    }
+
+    fn set_poison(&mut self, key: (u32, u32), poisoned: bool) {
+        match self.poison.binary_search(&key) {
+            Ok(i) => {
+                if !poisoned {
+                    self.poison.remove(i);
+                }
+            }
+            Err(i) => {
+                if poisoned {
+                    self.poison.insert(i, key);
+                }
+            }
+        }
+    }
+}
+
+/// Splice probe cost counters: how much work the state compares did.
+///
+/// Telemetry only — two campaign runs that classify every injection
+/// identically are the *same result* regardless of how many pages each
+/// probe hashed, so `ProbeCost` compares equal to any other `ProbeCost`
+/// and report equality stays bit-identical between the incremental and
+/// full-scan compare paths (and across probe schedules).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ProbeCost {
+    /// Splice probes attempted (classification attempts at a golden
+    /// snapshot).
+    pub probes: u64,
+    /// Pages content-hashed by the incremental compare.
+    pub pages_hashed: u64,
+    /// Cells compared word-by-word (hash-mismatch fallback, poison
+    /// pages, and the full-scan reference path).
+    pub words_compared: u64,
+}
+
+impl ProbeCost {
+    /// Accumulates another shard's counters.
+    pub fn merge(&mut self, other: &Self) {
+        self.probes += other.probes;
+        self.pages_hashed += other.pages_hashed;
+        self.words_compared += other.words_compared;
+    }
+}
+
+impl PartialEq for ProbeCost {
+    fn eq(&self, _: &Self) -> bool {
+        true // cost is not part of a campaign's result; see type docs
+    }
+}
+
+impl Eq for ProbeCost {}
 
 #[cfg(test)]
 mod tests {
@@ -348,5 +734,279 @@ mod tests {
         let m = mem();
         let c = m.cell_of(1, 0);
         assert_eq!(c.obj, ObjKind::Global(1));
+    }
+
+    // ---- dirty tracking + incremental compare ----
+
+    #[test]
+    fn writes_and_allocs_accumulate_dirty_pages() {
+        let mut m = mem();
+        let mut pages = Vec::new();
+        m.drain_dirty_pages(&mut pages);
+        assert!(pages.is_empty(), "fresh memory is its own baseline");
+        m.write(0, 1, Value::Int(7)).unwrap();
+        m.write(0, 2, Value::Int(8)).unwrap(); // same page: one entry
+        m.write(1, 0, Value::Int(9)).unwrap();
+        let h = m.alloc(ObjKind::Heap(0), PAGE_CELLS + 1); // 2 pages, fully dirty
+        m.drain_dirty_pages(&mut pages);
+        pages.sort_unstable();
+        assert_eq!(pages, vec![(0, 0), (1, 0), (h as u32, 0), (h as u32, 1)]);
+        // Drain cleared the set.
+        pages.clear();
+        m.drain_dirty_pages(&mut pages);
+        assert!(pages.is_empty());
+        // reset_dirty discards without reporting.
+        m.write(0, 0, Value::Int(1)).unwrap();
+        m.reset_dirty();
+        m.drain_dirty_pages(&mut pages);
+        assert!(pages.is_empty());
+    }
+
+    #[test]
+    fn dirty_tracking_is_not_architectural_state() {
+        let mut a = mem();
+        let mut b = mem();
+        a.write(0, 1, Value::Int(2)).unwrap(); // writes back the initial value
+        assert_eq!(a, b, "dirty bits must not affect equality");
+        b.reset_dirty();
+        assert_eq!(a, b);
+    }
+
+    /// Incremental diff agrees with the full scan on a real divergence
+    /// and prunes clean candidate pages without enumerating them.
+    #[test]
+    fn diff_cells_dirty_matches_full_scan() {
+        let golden = mem();
+        let hashes = PageHashes::of_memory(&golden);
+        let mut run = golden.clone();
+        run.reset_dirty();
+        run.write(0, 1, Value::Int(99)).unwrap();
+        run.write(1, 0, Value::Int(-1)).unwrap();
+        let mut pending = Vec::new();
+        run.drain_dirty_pages(&mut pending);
+        pending.sort_unstable();
+        pending.dedup();
+        let (mut inc, mut full) = (Vec::new(), Vec::new());
+        let mut cost = ProbeCost::default();
+        assert!(run.diff_cells_dirty(
+            &golden,
+            &hashes,
+            &mut pending,
+            golden.object_count(),
+            8,
+            &mut inc,
+            &mut cost
+        ));
+        assert!(run.diff_cells(&golden, 8, &mut full));
+        assert_eq!(inc, full);
+        assert_eq!(inc, vec![(0, 1), (1, 0)]);
+        assert_eq!(pending, vec![(0, 0), (1, 0)], "diverged pages stay pending");
+        assert!(cost.pages_hashed == 2 && cost.words_compared > 0);
+    }
+
+    /// Satellite: a page dirtied and then restored to golden bytes
+    /// hashes back to the golden page hash, so the probe prunes it as
+    /// clean without a word-level compare.
+    #[test]
+    fn dirtied_then_restored_page_is_pruned_as_clean() {
+        let golden = mem();
+        let hashes = PageHashes::of_memory(&golden);
+        let mut run = golden.clone();
+        run.reset_dirty();
+        run.write(0, 1, Value::Int(42)).unwrap();
+        run.write(0, 1, Value::Int(2)).unwrap(); // restore the golden value
+        let mut pending = Vec::new();
+        run.drain_dirty_pages(&mut pending);
+        pending.sort_unstable();
+        assert_eq!(pending, vec![(0, 0)], "the write dirtied the page");
+        let mut out = Vec::new();
+        let mut cost = ProbeCost::default();
+        assert!(run.diff_cells_dirty(
+            &golden,
+            &hashes,
+            &mut pending,
+            golden.object_count(),
+            8,
+            &mut out,
+            &mut cost
+        ));
+        assert!(out.is_empty(), "restored page is clean");
+        assert!(pending.is_empty(), "hash match prunes the candidate");
+        assert_eq!(cost.pages_hashed, 1);
+        assert_eq!(cost.words_compared, 0, "clean page never word-compared");
+    }
+
+    /// NaN-poisoned golden pages bypass the hash: the incremental diff
+    /// must report exactly what the full scan reports (NaN ≠ NaN under
+    /// `Value` equality), even when the run's bytes are identical.
+    #[test]
+    fn poison_pages_word_compare_and_match_full_scan() {
+        let mut golden = mem();
+        golden.write(0, 3, Value::Float(f64::NAN)).unwrap();
+        golden.reset_dirty();
+        let hashes = PageHashes::of_memory(&golden);
+        assert_eq!(hashes.poison_pages(), &[(0, 0)]);
+        let mut run = golden.clone();
+        run.reset_dirty();
+        let mut pending = hashes.poison_pages().to_vec();
+        let (mut inc, mut full) = (Vec::new(), Vec::new());
+        let mut cost = ProbeCost::default();
+        assert!(run.diff_cells_dirty(
+            &golden,
+            &hashes,
+            &mut pending,
+            golden.object_count(),
+            8,
+            &mut inc,
+            &mut cost
+        ));
+        assert!(run.diff_cells(&golden, 8, &mut full));
+        assert_eq!(inc, full);
+        assert_eq!(inc, vec![(0, 3)], "NaN is never equal to itself");
+        assert_eq!(pending, vec![(0, 0)], "poison pages stay pending");
+        assert_eq!(cost.pages_hashed, 0, "poison bypasses the hash");
+    }
+
+    /// Negative zero: bitwise-unequal to +0.0 (hash mismatch) but
+    /// value-equal, so the word-level fallback finds no diff and the
+    /// page is pruned — exactly the full scan's verdict.
+    #[test]
+    fn negative_zero_page_falls_back_then_prunes() {
+        let mut golden = mem();
+        golden.write(1, 1, Value::Float(0.0)).unwrap();
+        golden.reset_dirty();
+        let hashes = PageHashes::of_memory(&golden);
+        assert!(hashes.poison_pages().is_empty(), "±0.0 is not poison");
+        let mut run = golden.clone();
+        run.reset_dirty();
+        run.write(1, 1, Value::Float(-0.0)).unwrap();
+        let mut pending = Vec::new();
+        run.drain_dirty_pages(&mut pending);
+        pending.sort_unstable();
+        pending.dedup();
+        let (mut inc, mut full) = (Vec::new(), Vec::new());
+        let mut cost = ProbeCost::default();
+        assert!(run.diff_cells_dirty(
+            &golden,
+            &hashes,
+            &mut pending,
+            golden.object_count(),
+            8,
+            &mut inc,
+            &mut cost
+        ));
+        assert!(run.diff_cells(&golden, 8, &mut full));
+        assert_eq!(inc, full);
+        assert!(inc.is_empty(), "-0.0 == +0.0 under Value equality");
+        assert!(pending.is_empty(), "value-equal page is pruned");
+        assert!(cost.words_compared > 0, "hash mismatch forced the fallback");
+    }
+
+    /// Cap overflow in the incremental path: incomparable verdict, and
+    /// `pending` keeps both the offending page and the unprocessed
+    /// tail so the next probe stays sound.
+    #[test]
+    fn diff_cells_dirty_cap_keeps_candidates() {
+        let golden = mem();
+        let hashes = PageHashes::of_memory(&golden);
+        let mut run = golden.clone();
+        run.reset_dirty();
+        run.write(0, 0, Value::Int(50)).unwrap();
+        run.write(0, 1, Value::Int(51)).unwrap();
+        run.write(1, 0, Value::Int(52)).unwrap();
+        let mut pending = Vec::new();
+        run.drain_dirty_pages(&mut pending);
+        pending.sort_unstable();
+        pending.dedup();
+        let mut out = Vec::new();
+        let mut cost = ProbeCost::default();
+        assert!(!run.diff_cells_dirty(
+            &golden,
+            &hashes,
+            &mut pending,
+            golden.object_count(),
+            1,
+            &mut out,
+            &mut cost
+        ));
+        assert_eq!(pending, vec![(0, 0), (1, 0)], "capped + unprocessed pages retained");
+        // Full scan agrees the pair is incomparable at this cap.
+        assert!(!run.diff_cells(&golden, 1, &mut out));
+    }
+
+    /// New objects allocated after the resume base are shape-checked
+    /// and their (fully dirty) pages compared like any other candidate.
+    #[test]
+    fn diff_cells_dirty_covers_new_objects() {
+        let mut golden = mem();
+        let g = golden.alloc(ObjKind::Heap(0), 3);
+        golden.write(g, 1, Value::Int(5)).unwrap();
+        golden.reset_dirty();
+        let hashes = PageHashes::of_memory(&golden);
+        let base = 2; // resume base had only the two globals
+        let mut run = mem();
+        let r = run.alloc(ObjKind::Heap(0), 3);
+        run.write(r, 1, Value::Int(6)).unwrap();
+        let mut pending = Vec::new();
+        run.drain_dirty_pages(&mut pending);
+        pending.sort_unstable();
+        pending.dedup();
+        let (mut inc, mut full) = (Vec::new(), Vec::new());
+        let mut cost = ProbeCost::default();
+        assert!(run.diff_cells_dirty(&golden, &hashes, &mut pending, base, 8, &mut inc, &mut cost));
+        assert!(run.diff_cells(&golden, 8, &mut full));
+        assert_eq!(inc, full);
+        assert_eq!(inc, vec![(g as u32, 1)]);
+        // Mismatched new-object shape → incomparable, as in the full scan.
+        let mut short = mem();
+        short.alloc(ObjKind::Heap(0), 2);
+        let mut pending2 = vec![(2u32, 0u32)];
+        assert!(!short.diff_cells_dirty(
+            &golden,
+            &hashes,
+            &mut pending2,
+            base,
+            8,
+            &mut inc,
+            &mut cost
+        ));
+    }
+
+    /// Page-hash maintenance: `update` recomputes changed pages and
+    /// poison membership tracks NaN cells in both directions.
+    #[test]
+    fn page_hashes_update_tracks_content_and_poison() {
+        let mut m = mem();
+        let mut hashes = PageHashes::of_memory(&m);
+        m.write(0, 2, Value::Float(f64::NAN)).unwrap();
+        let mut changed = Vec::new();
+        m.drain_dirty_pages(&mut changed);
+        hashes.extend_new_objects(&m);
+        hashes.update(&m, &changed);
+        assert_eq!(hashes.poison_pages(), &[(0, 0)]);
+        m.write(0, 2, Value::Int(0)).unwrap();
+        changed.clear();
+        m.drain_dirty_pages(&mut changed);
+        hashes.update(&m, &changed);
+        assert!(hashes.poison_pages().is_empty(), "NaN overwritten → poison cleared");
+        // A new allocation gets rows from extend_new_objects.
+        let h = m.alloc(ObjKind::Heap(0), PAGE_CELLS * 2);
+        changed.clear();
+        m.drain_dirty_pages(&mut changed);
+        hashes.extend_new_objects(&m);
+        hashes.update(&m, &changed);
+        assert_eq!(hashes.hash(h as u32, 0), hashes.hash(h as u32, 1), "identical zero pages");
+    }
+
+    /// ProbeCost is telemetry: never part of result equality.
+    #[test]
+    fn probe_cost_compares_equal_always() {
+        let a = ProbeCost { probes: 1, pages_hashed: 2, words_compared: 3 };
+        let mut b = ProbeCost::default();
+        assert_eq!(a, b);
+        b.merge(&a);
+        assert_eq!(b.probes, 1);
+        assert_eq!(b.pages_hashed, 2);
+        assert_eq!(b.words_compared, 3);
     }
 }

@@ -26,6 +26,7 @@
 //! ```
 
 use crate::fault::{FaultModel, FaultModelKind, FaultPlan};
+use crate::memory::ProbeCost;
 use crate::interp::{
     run_function_with_snapshots, Machine, RunConfig, RunResult, SpliceRule, SpliceRun, Trap,
     TrapKind,
@@ -138,6 +139,15 @@ pub struct SfiConfig {
     /// splice-certifiable run their full suffix regardless of this
     /// flag, so enabling it is always sound.
     pub splice: bool,
+    /// Use the O(dirty) incremental state compare for splice probes:
+    /// diff only the pages the injected run (or the golden timeline
+    /// between probe points) has touched, pruning clean pages by
+    /// precomputed per-page golden hashes. On by default; reports are
+    /// bit-identical either way (both paths compare the same state by
+    /// the same `PartialEq` semantics), so `false` exists as an escape
+    /// hatch and differential-testing reference, mirroring
+    /// [`SfiConfig::splice`].
+    pub incremental_diff: bool,
     /// The fault model plans are sampled from. Defaults to the classic
     /// single-bit flip ([`FaultModelKind::BitFlip`]), which reproduces
     /// pre-taxonomy campaigns bit-for-bit.
@@ -154,6 +164,7 @@ impl Default for SfiConfig {
             workers: 0,
             snapshot_stride: 256,
             splice: true,
+            incremental_diff: true,
             model: FaultModelKind::BitFlip,
         }
     }
@@ -368,6 +379,12 @@ pub struct SpliceStats {
     /// Total golden-suffix dynamic instructions not executed across all
     /// spliced runs.
     pub dyn_insts_saved: u64,
+    /// Aggregate probe work: how much state-compare effort the splice
+    /// spent earning the savings above. Diagnostic only — its
+    /// `PartialEq` always holds, so reports stay bit-identical between
+    /// the incremental and full-scan compare paths even though their
+    /// compare footprints differ.
+    pub cost: ProbeCost,
 }
 
 impl SpliceStats {
@@ -403,6 +420,7 @@ impl SpliceStats {
         self.dead_diff += other.dead_diff;
         self.sdc += other.sdc;
         self.dyn_insts_saved += other.dyn_insts_saved;
+        self.cost.merge(&other.cost);
     }
 }
 
@@ -601,6 +619,19 @@ impl<'a> SfiCampaign<'a> {
         plan: FaultPlan,
         splice: bool,
     ) -> (FaultOutcome, Option<SpliceEngagement>) {
+        let (outcome, engagement, _) = self.run_one_impl(plan, splice, true);
+        (outcome, engagement)
+    }
+
+    /// [`SfiCampaign::run_one_detailed`] plus the probe-cost counters,
+    /// with the compare path selectable: `incremental: false` forces
+    /// every probe through the full-scan `diff_cells` reference.
+    fn run_one_impl(
+        &self,
+        plan: FaultPlan,
+        splice: bool,
+        incremental: bool,
+    ) -> (FaultOutcome, Option<SpliceEngagement>, ProbeCost) {
         let config = self.injection_config(plan);
         let mut m = match self.snapshots.nearest_at_or_before(plan.inject_at) {
             Some(snap) => {
@@ -615,7 +646,7 @@ impl<'a> SfiCampaign<'a> {
         // here rather than trusted. See `FaultAction::splice_certifiable`.
         if !splice || !plan.action.splice_certifiable() || self.snapshots.is_empty() {
             let trap = m.run_to_end();
-            return (self.classify_machine(&m, trap), None);
+            return (self.classify_machine(&m, trap), None, m.probe_cost());
         }
         // With golden snapshots on hand, a rolled-back run whose diff
         // against the aligned golden timeline becomes provably inert
@@ -623,14 +654,14 @@ impl<'a> SfiCampaign<'a> {
         // `classify_machine` (golden-equal final state after a
         // rollback) and rule (c) hits are its `SilentCorruption` arm —
         // each certified without simulating the suffix.
-        match m.run_to_end_or_splice(&self.snapshots, self.golden.dyn_insts) {
-            SpliceRun::Done(trap) => (self.classify_machine(&m, trap), None),
+        match m.run_to_end_or_splice(&self.snapshots, self.golden.dyn_insts, incremental) {
+            SpliceRun::Done(trap) => (self.classify_machine(&m, trap), None, m.probe_cost()),
             SpliceRun::Spliced(rule, dyn_insts_saved) => {
                 let outcome = match rule {
                     SpliceRule::Converged | SpliceRule::DeadDiff => FaultOutcome::Recovered,
                     SpliceRule::Sdc => FaultOutcome::SilentCorruption,
                 };
-                (outcome, Some(SpliceEngagement { rule, dyn_insts_saved }))
+                (outcome, Some(SpliceEngagement { rule, dyn_insts_saved }), m.probe_cost())
             }
         }
     }
@@ -681,8 +712,10 @@ impl<'a> SfiCampaign<'a> {
         let mut report = CampaignReport::new(*config);
         for index in lo..hi {
             let plan = config.plan_for(index, space);
-            let (outcome, engagement) = self.run_one_detailed(plan, config.splice);
+            let (outcome, engagement, cost) =
+                self.run_one_impl(plan, config.splice, config.incremental_diff);
             report.record(plan, outcome);
+            report.splice.cost.merge(&cost);
             if let Some(e) = engagement {
                 report.splice.record(e);
             }

@@ -30,7 +30,7 @@
 
 use crate::externs::Externs;
 use crate::interp::Frame;
-use crate::memory::Memory;
+use crate::memory::{Memory, PageHashes};
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
@@ -98,6 +98,15 @@ fn suffix_union(mut chunks: AccessChunks, snapshots: usize) -> Vec<Arc<CellSet>>
 /// start an injection run mid-trace. Opaque outside the crate: the
 /// public surface is the position accessors.
 pub struct Snapshot {
+    /// Position in the log's capture order (assigned by
+    /// [`SnapshotLog::push`]) — the key the splice's incremental probe
+    /// state uses to track which golden intervals it has absorbed.
+    pub(crate) index: usize,
+    /// Per-page FNV content hashes of `mem` (plus the NaN poison set),
+    /// maintained incrementally by the golden run as it captures — the
+    /// probe compares an injected run's dirty pages against these
+    /// without reading a single golden cell.
+    pub(crate) page_hashes: PageHashes,
     pub(crate) frames: Vec<Frame>,
     pub(crate) mem: Memory,
     pub(crate) externs: Externs,
@@ -165,6 +174,12 @@ pub struct SnapshotLog {
     /// in this set is overwritten by the replayed suffix and heals; one
     /// outside it persists to the final state.
     suffix_writes: Vec<Arc<CellSet>>,
+    /// Per snapshot `k`: the sorted `(object, page)` pages the golden
+    /// run wrote in the interval `(snapshot k-1, snapshot k]` (for
+    /// `k = 0`, since the golden run began). The splice probe unions
+    /// these to learn which golden pages changed between two probe
+    /// targets — the golden half of the incremental-diff candidate set.
+    interval_pages: Vec<Vec<(u32, u32)>>,
 }
 
 impl SnapshotLog {
@@ -178,14 +193,21 @@ impl SnapshotLog {
             activation_dyn: Vec::new(),
             suffix_reads: Vec::new(),
             suffix_writes: Vec::new(),
+            interval_pages: Vec::new(),
         }
     }
 
-    pub(crate) fn push(&mut self, snap: Snapshot) {
+    /// Appends a capture together with the golden dirty pages drained
+    /// since the previous capture (its interval page list).
+    pub(crate) fn push(&mut self, mut snap: Snapshot, mut interval: Vec<(u32, u32)>) {
         debug_assert!(
             self.snaps.last().map(|s| s.eligible_seen <= snap.eligible_seen).unwrap_or(true),
             "snapshots must be captured in execution order"
         );
+        snap.index = self.snaps.len();
+        interval.sort_unstable();
+        interval.dedup();
+        self.interval_pages.push(interval);
         self.snaps.push(Arc::new(snap));
     }
 
@@ -234,6 +256,12 @@ impl SnapshotLog {
     /// Index of the first snapshot captured at `dyn_insts >= d`.
     pub(crate) fn first_at_or_after_dyn(&self, d: u64) -> usize {
         self.snaps.partition_point(|s| s.dyn_insts < d)
+    }
+
+    /// Sorted golden-written pages in the interval ending at snapshot
+    /// `i` (empty when `i` is out of range or lists were not built).
+    pub(crate) fn interval_pages(&self, i: usize) -> &[(u32, u32)] {
+        self.interval_pages.get(i).map_or(&[][..], Vec::as_slice)
     }
 
     /// Installs the golden suffix access summaries from per-interval

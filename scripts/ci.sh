@@ -41,6 +41,16 @@ echo "==> divergence-splice smoke (fixed seed)"
 cargo test --release -q --offline --test sfi_campaign -- \
     splice_smoke_all_rules_engage splice_never_changes_campaign_results
 
+# Incremental-diff smoke: a fixed-seed campaign on one real workload
+# run under both state-compare paths — the O(dirty) dirty-tracked
+# page-hash probes (default) and the retained full-scan reference —
+# with the two CampaignReports asserted equal field-for-field. Catches
+# a dirty-tracking or page-hash bug that changes what a splice probe
+# sees, even if it never changes a final outcome.
+echo "==> incremental-diff smoke (fixed seed, both compare paths)"
+cargo test --release -q --offline --test sfi_campaign -- \
+    incremental_diff_smoke_reports_identical_both_paths
+
 # Differential fuzz smoke: 64 machine-generated programs (fixed seed —
 # cases are a pure function of the property name and index) through the
 # splice/stride/worker differential property, plus the per-fault-model
@@ -51,6 +61,8 @@ echo "==> differential fuzz smoke (64 fixed-seed cases)"
 ENCORE_FUZZ_CASES=64 cargo test --release -q --offline --test fuzz_differential -- \
     fuzzed_campaigns_are_splice_stride_and_worker_invariant \
     fuzzed_campaigns_are_invariant_under_every_fault_model \
+    fuzzed_campaigns_agree_between_incremental_and_fullscan_diff \
+    fuzzed_campaigns_agree_between_diff_paths_under_every_fault_model \
     fuzzed_fault_plans_agree_between_resume_and_scratch
 
 echo "==> OK"

@@ -160,6 +160,30 @@ fn snapshot_stride_never_changes_campaign_reports() {
     }
 }
 
+/// Fixed-seed incremental-diff smoke (run by name from `scripts/ci.sh`):
+/// one real workload, both compare paths, full reports asserted equal.
+/// The O(dirty) page-hash probe path and the full-scan reference probe
+/// the same schedule and compare the same state by the same `PartialEq`
+/// semantics, so *everything* — outcomes, latency histograms, splice
+/// engagement counts, suffix instructions saved — must match; only the
+/// config echo of the knob itself is normalized away.
+#[test]
+fn incremental_diff_smoke_reports_identical_both_paths() {
+    let (module, map, entry, arg) = instrument("rawcaudio");
+    let inc = config(64, 2);
+    assert!(inc.incremental_diff, "incremental compare is the default");
+    let campaign = SfiCampaign::prepare(&module, Some(&map), entry, &[Value::Int(arg)], &inc)
+        .expect("golden run completes");
+    let fast = campaign.run_report(&inc);
+    let mut slow = campaign.run_report(&SfiConfig { incremental_diff: false, ..inc });
+    slow.config.incremental_diff = true;
+    assert_eq!(fast, slow, "full-scan reference disagreed with the incremental path");
+    assert!(
+        fast.splice.cost.probes > 0,
+        "smoke campaign never probed — the property ran vacuously"
+    );
+}
+
 /// Builds a RegionMap with one entry per (func, header, recovery block).
 fn map_of(entries: &[(FuncId, BlockId, BlockId)]) -> RegionMap {
     let mut map = RegionMap::default();
